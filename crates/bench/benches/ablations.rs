@@ -1,0 +1,161 @@
+//! Ablations of LCRQ's design choices (DESIGN.md §5) plus an ecosystem
+//! reference point:
+//!
+//! * bounded-wait optimization on/off (§4.1.1) — off forces extra empty
+//!   transitions when a dequeuer races its matching enqueuer;
+//! * starvation limit — tiny limits close rings eagerly (ring churn),
+//!   huge limits defer closing (more wasted attempts under adversity);
+//! * hierarchical timeout — the LCRQ+H cluster gate;
+//! * the bare CRQ vs the full LCRQ (cost of hazard pointers + list);
+//! * `crossbeam::queue::SegQueue` as a modern-ecosystem baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcrq_bench::{run_workload, RunConfig};
+use lcrq_core::{Crq, HierarchicalConfig, Lcrq, LcrqConfig};
+use lcrq_queues::ConcurrentQueue;
+use std::time::Duration;
+
+const THREADS: usize = 4;
+
+fn cfg_for(pairs: u64) -> RunConfig {
+    let mut cfg = RunConfig::new(THREADS);
+    cfg.pairs = pairs;
+    cfg.max_delay_ns = 0;
+    cfg.pin = false;
+    cfg
+}
+
+fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    g.throughput(Throughput::Elements(2 * THREADS as u64));
+    g
+}
+
+fn bench_bounded_wait(c: &mut Criterion) {
+    let mut g = group(c, "ablation_bounded_wait");
+    for &spins in &[0u32, 32, 128, 512] {
+        g.bench_with_input(BenchmarkId::new("spins", spins), &spins, |b, &s| {
+            b.iter_custom(|iters| {
+                let q = Lcrq::with_config(LcrqConfig::new().with_bounded_wait(s));
+                run_workload(&q, &cfg_for(iters.max(1))).wall
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_starvation_limit(c: &mut Criterion) {
+    let mut g = group(c, "ablation_starvation_limit");
+    for &limit in &[2u32, 16, 128, 1024] {
+        g.bench_with_input(BenchmarkId::new("limit", limit), &limit, |b, &l| {
+            b.iter_custom(|iters| {
+                // Small ring so closes actually happen.
+                let q = Lcrq::with_config(
+                    LcrqConfig::new().with_ring_order(4).with_starvation_limit(l),
+                );
+                run_workload(&q, &cfg_for(iters.max(1))).wall
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_hierarchical_timeout(c: &mut Criterion) {
+    let mut g = group(c, "ablation_hier_timeout");
+    for &us in &[0u64, 10, 100, 1000] {
+        g.bench_with_input(BenchmarkId::new("timeout_us", us), &us, |b, &us| {
+            b.iter_custom(|iters| {
+                let q = Lcrq::with_config(LcrqConfig::new().with_hierarchical(
+                    HierarchicalConfig {
+                        timeout: Duration::from_micros(us),
+                    },
+                ));
+                let mut cfg = cfg_for(iters.max(1));
+                cfg.clusters = 4;
+                run_workload(&q, &cfg).wall
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_crq_vs_lcrq(c: &mut Criterion) {
+    let mut g = group(c, "ablation_crq_vs_lcrq");
+    g.bench_function("bare_crq", |b| {
+        b.iter_custom(|iters| {
+            // A bare CRQ sized to never close: measures the ring protocol
+            // alone, without hazard pointers or list management.
+            let q = Crq::<lcrq_atomic::HardwareFaa>::new(
+                &LcrqConfig::new().with_ring_order(16),
+            );
+            struct CrqAsQueue<'a>(&'a Crq);
+            impl ConcurrentQueue for CrqAsQueue<'_> {
+                fn enqueue(&self, v: u64) {
+                    self.0.enqueue(v).expect("ring sized to never close");
+                }
+                fn dequeue(&self) -> Option<u64> {
+                    self.0.dequeue()
+                }
+                fn name(&self) -> &'static str {
+                    "crq"
+                }
+                fn is_nonblocking(&self) -> bool {
+                    true
+                }
+            }
+            run_workload(&CrqAsQueue(&q), &cfg_for(iters.max(1))).wall
+        });
+    });
+    g.bench_function("full_lcrq", |b| {
+        b.iter_custom(|iters| {
+            let q = Lcrq::with_config(LcrqConfig::new().with_ring_order(16));
+            run_workload(&q, &cfg_for(iters.max(1))).wall
+        });
+    });
+    g.finish();
+}
+
+fn bench_crossbeam_reference(c: &mut Criterion) {
+    let mut g = group(c, "reference_crossbeam");
+    struct CbQueue(crossbeam::queue::SegQueue<u64>);
+    impl ConcurrentQueue for CbQueue {
+        fn enqueue(&self, v: u64) {
+            self.0.push(v);
+        }
+        fn dequeue(&self) -> Option<u64> {
+            self.0.pop()
+        }
+        fn name(&self) -> &'static str {
+            "crossbeam-segqueue"
+        }
+        fn is_nonblocking(&self) -> bool {
+            true
+        }
+    }
+    g.bench_function("crossbeam_segqueue", |b| {
+        b.iter_custom(|iters| {
+            let q = CbQueue(crossbeam::queue::SegQueue::new());
+            run_workload(&q, &cfg_for(iters.max(1))).wall
+        });
+    });
+    g.bench_function("lcrq", |b| {
+        b.iter_custom(|iters| {
+            let q = Lcrq::new();
+            run_workload(&q, &cfg_for(iters.max(1))).wall
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bounded_wait,
+    bench_starvation_limit,
+    bench_hierarchical_timeout,
+    bench_crq_vs_lcrq,
+    bench_crossbeam_reference
+);
+criterion_main!(benches);

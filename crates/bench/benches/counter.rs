@@ -1,0 +1,46 @@
+//! Criterion version of Figure 1: contended counter increments, hardware
+//! F&A vs CAS loop. The CAS loop's cost should grow with thread count while
+//! F&A stays near-flat (modulo this host's core count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcrq_atomic::{CasLoopFaa, FaaPolicy, HardwareFaa};
+use std::sync::atomic::AtomicU64;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+fn contended_increments<P: FaaPolicy>(threads: usize, per_thread: u64) -> Duration {
+    let counter = AtomicU64::new(0);
+    let barrier = Barrier::new(threads + 1);
+    let (counter, barrier) = (&counter, &barrier);
+    let timer = std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..per_thread {
+                    P::fetch_add(counter, 1);
+                }
+            });
+        }
+        let start = Instant::now();
+        barrier.wait();
+        start
+    });
+    timer.elapsed()
+}
+
+fn bench_counter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_counter");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &threads in &[1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("faa", threads), &threads, |b, &t| {
+            b.iter_custom(|iters| contended_increments::<HardwareFaa>(t, iters.max(1)));
+        });
+        g.bench_with_input(BenchmarkId::new("cas-loop", threads), &threads, |b, &t| {
+            b.iter_custom(|iters| contended_increments::<CasLoopFaa>(t, iters.max(1)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_counter);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Figure 6: enqueue/dequeue throughput on a single processor.
+//!
+//! * Part (a): thread sweep at or below the hardware thread count.
+//! * Part (b) (`--oversubscribed`): more software threads than hardware
+//!   threads. The paper's shape: the lock-based combining queues (FC,
+//!   CC-Queue) collapse by 15–40× when a combiner can be preempted while
+//!   holding the lock; the nonblocking LCRQ and MS queue hold steady,
+//!   putting LCRQ >20× ahead of CC-Queue.
+//!
+//! NOTE (DESIGN.md P1): this reproduction host has a single hardware
+//! thread, so *every* multi-thread point is effectively oversubscribed —
+//! the part-(b) effect applies across the whole sweep, which is the regime
+//! this machine reproduces most faithfully.
+//!
+//! Usage: `fig6_throughput [--threads 1,2,4,8,16,20] [--pairs 20000]
+//!         [--runs 3] [--ring-order 12] [--oversubscribed]
+//!         [--queues lcrq,lcrq-cas,cc-queue,fc-queue,ms]`
+
+use lcrq_bench::cli::Cli;
+use lcrq_bench::{make_queue, run_workload, QueueKind, RunConfig};
+use lcrq_util::{set_wait_mode, WaitMode};
+
+fn main() {
+    let cli = Cli::from_env();
+    let over = cli.has("oversubscribed");
+    // Part (b) reproduces the paper's *spinning* waiters (its C baselines
+    // never yield), which is what makes a preempted combiner catastrophic.
+    // Part (a) uses spin-then-yield, approximating a non-oversubscribed
+    // multicore where a waiter's spinning never starves the combiner.
+    // Override with --wait-mode spin|yield.
+    let mode = match cli.get_str("wait-mode") {
+        Some("spin") => WaitMode::Spin,
+        Some("yield") => WaitMode::SpinThenYield,
+        _ if over => WaitMode::Spin,
+        _ => WaitMode::SpinThenYield,
+    };
+    set_wait_mode(mode);
+    // In oversubscribed mode, also arm the scheduler adversary so
+    // preemptions land inside critical windows at a realistic rate for an
+    // oversubscribed multicore (natural preemption on this 1-core host is
+    // too coarse to ever hit a ~100 ns window; DESIGN.md P1).
+    let ppm: u32 = cli.get("preempt-ppm", if over { 1000 } else { 0 });
+    lcrq_util::adversary::set_preempt_ppm(ppm);
+    let default_threads: &[usize] = if over {
+        &[4, 8, 16, 32, 64, 128]
+    } else {
+        &[1, 2, 4, 8, 12, 16, 20]
+    };
+    let threads = cli.get_list("threads", default_threads);
+    let pairs: u64 = cli.get("pairs", if over { 5_000 } else { 20_000 });
+    let runs: usize = cli.get("runs", 3usize);
+    let ring_order: u32 = cli.get("ring-order", 12u32);
+    let kinds: Vec<QueueKind> = match cli.get_str("queues") {
+        Some(s) => s.split(',').filter_map(QueueKind::parse).collect(),
+        None => vec![
+            QueueKind::Lcrq,
+            QueueKind::LcrqCas,
+            QueueKind::Cc,
+            QueueKind::Fc,
+            QueueKind::Ms,
+        ],
+    };
+
+    println!(
+        "# Figure 6{}: single-processor throughput (Mops/s){}",
+        if over { "b" } else { "a" },
+        if over { ", oversubscribed" } else { "" }
+    );
+    println!("# pairs/thread = {pairs}, runs = {runs} (median), ring R = 2^{ring_order}");
+    print!("| threads |");
+    for k in &kinds {
+        print!(" {} |", k.name());
+    }
+    println!();
+    print!("|---------|");
+    for _ in &kinds {
+        print!("---|");
+    }
+    println!();
+    for &t in &threads {
+        print!("| {t} |");
+        for &k in &kinds {
+            let mut cfg = RunConfig::new(t);
+            cfg.pairs = pairs;
+            let mut best = 0.0f64;
+            let mut all = Vec::new();
+            for _ in 0..runs {
+                let q = make_queue(k, ring_order, 1);
+                let r = run_workload(&q, &cfg);
+                all.push(r.mops);
+                best = best.max(r.mops);
+            }
+            all.sort_by(f64::total_cmp);
+            let median = all[all.len() / 2];
+            print!(" {median:.3} |");
+        }
+        println!();
+    }
+}

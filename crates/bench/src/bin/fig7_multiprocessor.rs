@@ -1,0 +1,75 @@
+//! Figure 7: throughput on four processors (threads spread round-robin
+//! across sockets), initially empty (7b) or prefilled with 2^16 items (7a).
+//!
+//! Paper's shape: only the hierarchical algorithms (LCRQ+H, H-Queue) scale
+//! past ~16 threads; prefilling *helps* LCRQ (≈+5%, dequeuers stop waiting
+//! for matching enqueuers) but *hurts* the combining queues (reduced
+//! locality: CC-Queue ≈−10%, H-Queue ≈−40%), stretching LCRQ's lead from
+//! ≈1.5× to ≈1.8× and LCRQ+H's from 1.5× to 2.5×.
+//!
+//! Substitution (DESIGN.md P1): this host has one socket (and one hardware
+//! thread), so "processors" are 4 *simulated* clusters — thread `t` declares
+//! cluster `t % 4`, exercising the identical H-Synch / LCRQ+H cluster code
+//! paths without NUMA latency.
+//!
+//! Usage: `fig7_multiprocessor [--threads 4,8,16,32,80] [--pairs 10000]
+//!         [--runs 3] [--ring-order 12] [--clusters 4] [--prefill 65536]`
+
+use lcrq_bench::cli::Cli;
+use lcrq_bench::{make_queue, run_workload, QueueKind, RunConfig};
+
+fn main() {
+    let cli = Cli::from_env();
+    let threads = cli.get_list("threads", &[4, 8, 16, 32, 48, 80]);
+    let pairs: u64 = cli.get("pairs", 10_000u64);
+    let runs: usize = cli.get("runs", 3usize);
+    let ring_order: u32 = cli.get("ring-order", 12u32);
+    let clusters: usize = cli.get("clusters", 4usize);
+    let prefill: u64 = cli.get("prefill", 0u64);
+    // Optional scheduler adversary (see lcrq_util::adversary and DESIGN.md
+    // P1): emulates preemption landing inside critical windows, which this
+    // 1-core host's natural scheduling cannot produce.
+    lcrq_util::adversary::set_preempt_ppm(cli.get("preempt-ppm", 0u32));
+    let kinds = [
+        QueueKind::LcrqH,
+        QueueKind::Lcrq,
+        QueueKind::LcrqCas,
+        QueueKind::H,
+        QueueKind::Cc,
+    ];
+
+    println!(
+        "# Figure 7{}: {} simulated clusters, queue initially {} (Mops/s)",
+        if prefill > 0 { "a" } else { "b" },
+        clusters,
+        if prefill > 0 { "full (2^16)" } else { "empty" },
+    );
+    println!("# pairs/thread = {pairs}, runs = {runs} (median), ring R = 2^{ring_order}");
+    print!("| threads |");
+    for k in &kinds {
+        print!(" {} |", k.name());
+    }
+    println!();
+    print!("|---------|");
+    for _ in &kinds {
+        print!("---|");
+    }
+    println!();
+    for &t in &threads {
+        print!("| {t} |");
+        for &k in &kinds {
+            let mut cfg = RunConfig::new(t);
+            cfg.pairs = pairs;
+            cfg.prefill = prefill;
+            cfg.clusters = clusters;
+            let mut all = Vec::new();
+            for _ in 0..runs {
+                let q = make_queue(k, ring_order, clusters);
+                all.push(run_workload(&q, &cfg).mops);
+            }
+            all.sort_by(f64::total_cmp);
+            print!(" {:.3} |", all[all.len() / 2]);
+        }
+        println!();
+    }
+}

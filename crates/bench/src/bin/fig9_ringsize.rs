@@ -1,0 +1,70 @@
+//! Figure 9: impact of the CRQ ring size R on LCRQ throughput (CC-Queue
+//! shown for reference, as in the paper).
+//!
+//! Paper's shape: tiny rings close constantly (every close allocates and
+//! links a fresh ring), so throughput climbs with R and saturates once the
+//! ring comfortably exceeds the number of running threads — "as long as an
+//! individual CRQ has room for all running threads, LCRQ obtains excellent
+//! performance" (on one processor R ≥ 32 already beats CC-Queue; on four
+//! processors R = 1024 gives the full ≈1.5× advantage).
+//!
+//! Usage: `fig9_ringsize [--threads 16] [--pairs 10000] [--runs 3]
+//!         [--orders 3,5,7,9,11,13,15,17] [--clusters 1]`
+
+use lcrq_bench::cli::Cli;
+use lcrq_bench::{make_queue, run_workload, QueueKind, RunConfig};
+
+fn main() {
+    let cli = Cli::from_env();
+    let threads: usize = cli.get("threads", 16usize);
+    let pairs: u64 = cli.get("pairs", 10_000u64);
+    let runs: usize = cli.get("runs", 3usize);
+    let orders = cli.get_list("orders", &[3, 5, 7, 9, 11, 13, 15, 17]);
+    let clusters: usize = cli.get("clusters", 1usize);
+    // Optional scheduler adversary (see lcrq_util::adversary and DESIGN.md
+    // P1): emulates preemption landing inside critical windows, which this
+    // 1-core host's natural scheduling cannot produce.
+    lcrq_util::adversary::set_preempt_ppm(cli.get("preempt-ppm", 0u32));
+    let hierarchical = clusters > 1;
+
+    println!("# Figure 9: ring-size sensitivity at {threads} threads (Mops/s)");
+    println!("# pairs/thread = {pairs}, runs = {runs} (median), clusters = {clusters}");
+
+    // Reference line: CC-Queue (or H-Queue in clustered mode) is R-independent.
+    let ref_kind = if hierarchical { QueueKind::H } else { QueueKind::Cc };
+    let mut cfg = RunConfig::new(threads);
+    cfg.pairs = pairs;
+    cfg.clusters = clusters;
+    let mut ref_runs: Vec<f64> = (0..runs)
+        .map(|_| {
+            let q = make_queue(ref_kind, 12, clusters);
+            run_workload(&q, &cfg).mops
+        })
+        .collect();
+    ref_runs.sort_by(f64::total_cmp);
+    let reference = ref_runs[runs / 2];
+    println!("# reference {} throughput: {reference:.3} Mops/s", ref_kind.name());
+
+    let kind = if hierarchical {
+        QueueKind::LcrqH
+    } else {
+        QueueKind::Lcrq
+    };
+    println!("| ring order | R | {} Mops/s | vs {} |", kind.name(), ref_kind.name());
+    println!("|-----------|---|-----------|-------|");
+    for &order in &orders {
+        let mut all: Vec<f64> = (0..runs)
+            .map(|_| {
+                let q = make_queue(kind, order as u32, clusters);
+                run_workload(&q, &cfg).mops
+            })
+            .collect();
+        all.sort_by(f64::total_cmp);
+        let median = all[runs / 2];
+        println!(
+            "| {order} | {} | {median:.3} | {:.2}x |",
+            1u64 << order,
+            median / reference
+        );
+    }
+}

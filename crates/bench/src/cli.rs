@@ -1,0 +1,105 @@
+//! A tiny `--flag value` argument parser shared by the harness binaries
+//! (keeping the workspace dependency-free beyond the approved dev tools).
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Default)]
+pub struct Cli {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Cli {
+    /// Parses `std::env::args()` (skipping the binary name). `--key value`
+    /// becomes a flag; a `--key` followed by another `--…` (or nothing) is a
+    /// boolean switch.
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (for tests).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut cli = Cli::default();
+        let args: Vec<String> = args.into_iter().collect();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    cli.flags.insert(key.to_string(), args[i + 1].clone());
+                    i += 2;
+                } else {
+                    cli.switches.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        cli
+    }
+
+    /// Value of `--key`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Raw string value of `--key`.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    /// Whether the boolean switch `--key` was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key) || self.flags.contains_key(key)
+    }
+
+    /// Parses a comma-separated list flag, e.g. `--threads 1,2,4,8`.
+    pub fn get_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.flags.get(key) {
+            Some(v) => v.split(',').filter_map(|p| p.trim().parse().ok()).collect(),
+            None => default.to_vec(),
+        }
+    }
+}
+
+/// Prints a markdown table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::from_iter(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags_and_switches() {
+        let c = cli(&["--pairs", "5000", "--oversubscribed", "--ring-order", "14"]);
+        assert_eq!(c.get("pairs", 0u64), 5000);
+        assert_eq!(c.get("ring-order", 0u32), 14);
+        assert!(c.has("oversubscribed"));
+        assert!(!c.has("missing"));
+        assert_eq!(c.get("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn parses_lists() {
+        let c = cli(&["--threads", "1,2, 4,8"]);
+        assert_eq!(c.get_list("threads", &[]), vec![1, 2, 4, 8]);
+        assert_eq!(c.get_list("absent", &[3]), vec![3]);
+    }
+
+    #[test]
+    fn bad_values_fall_back_to_default() {
+        let c = cli(&["--pairs", "abc"]);
+        assert_eq!(c.get("pairs", 42u64), 42);
+    }
+}

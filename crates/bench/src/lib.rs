@@ -1,0 +1,31 @@
+//! Benchmark harness for the LCRQ paper reproduction.
+//!
+//! Reimplements the methodology of §5 (itself following Fatourou &
+//! Kallimanis's benchmark framework): every thread executes `pairs`
+//! enqueue/dequeue pairs with a random ≤100 ns pause between operations
+//! (defeating artificial "long runs"), threads are pinned when the host has
+//! multiple CPUs, results are averaged over repeated runs, and software
+//! event counters stand in for the paper's hardware performance counters
+//! (DESIGN.md substitution P3).
+//!
+//! The `src/bin/` binaries regenerate the paper's figures and tables:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig1_counter` | Figure 1 — contended counter, F&A vs CAS loop |
+//! | `table1_primitives` | Table 1 — primitive availability |
+//! | `fig6_throughput` | Figure 6a/6b — single-processor + oversubscribed |
+//! | `fig7_multiprocessor` | Figure 7a/7b — clustered runs, empty/prefilled |
+//! | `fig8_latency` | Figure 8 — latency CDFs at max concurrency |
+//! | `fig9_ringsize` | Figure 9 — ring-size sensitivity |
+//! | `table2_stats` | Table 2 — per-op stats, 1 and 20 threads |
+//! | `table3_stats` | Table 3 — per-op stats, 80 threads, empty & full |
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod registry;
+pub mod workload;
+
+pub use registry::{make_queue, QueueKind, ALL_KINDS};
+pub use workload::{run_averaged, run_workload, RunConfig, RunResult};

@@ -1,0 +1,154 @@
+//! Queue construction by name, so every harness binary sweeps the same set.
+
+use lcrq_core::infinite::InfiniteArrayQueue;
+use lcrq_core::{HierarchicalConfig, Lcrq, LcrqCas, LcrqConfig};
+use lcrq_queues::{BasketsQueue, CcQueue, ConcurrentQueue, FcQueue, HQueue, MsQueue, OptimisticQueue, SimQueue, TwoLockQueue};
+
+/// The queue algorithms the harness can instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// LCRQ with hardware F&A (the paper's contribution).
+    Lcrq,
+    /// LCRQ with the hierarchical cluster optimization (LCRQ+H).
+    LcrqH,
+    /// LCRQ with CAS-loop F&A (LCRQ-CAS).
+    LcrqCas,
+    /// Michael & Scott nonblocking queue.
+    Ms,
+    /// Michael & Scott two-lock queue.
+    TwoLock,
+    /// CC-Queue (CC-Synch combining).
+    Cc,
+    /// H-Queue (H-Synch hierarchical combining).
+    H,
+    /// Flat-combining queue.
+    Fc,
+    /// The Figure-2 infinite-array queue (study only).
+    Infinite,
+    /// SimQueue: wait-free P-Sim combining (related work; extension).
+    Sim,
+    /// Ladan-Mozes & Shavit optimistic queue (related work; extension).
+    Optimistic,
+    /// Hoffman, Shalev & Shavit baskets queue (related work; extension).
+    Baskets,
+}
+
+/// Every kind, in the order the paper's figures list them.
+pub const ALL_KINDS: &[QueueKind] = &[
+    QueueKind::LcrqH,
+    QueueKind::Lcrq,
+    QueueKind::LcrqCas,
+    QueueKind::H,
+    QueueKind::Cc,
+    QueueKind::Fc,
+    QueueKind::Ms,
+    QueueKind::TwoLock,
+    QueueKind::Infinite,
+    QueueKind::Sim,
+    QueueKind::Optimistic,
+    QueueKind::Baskets,
+];
+
+impl QueueKind {
+    /// Parses a queue name as used on harness command lines.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "lcrq" => Self::Lcrq,
+            "lcrq+h" | "lcrq-h" => Self::LcrqH,
+            "lcrq-cas" => Self::LcrqCas,
+            "ms" => Self::Ms,
+            "two-lock" => Self::TwoLock,
+            "cc-queue" | "cc" => Self::Cc,
+            "h-queue" | "h" => Self::H,
+            "fc-queue" | "fc" => Self::Fc,
+            "infinite" | "infinite-array" => Self::Infinite,
+            "sim-queue" | "sim" => Self::Sim,
+            "optimistic" => Self::Optimistic,
+            "baskets" => Self::Baskets,
+            _ => return None,
+        })
+    }
+
+    /// Canonical display name (matches `ConcurrentQueue::name`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Lcrq => "lcrq",
+            Self::LcrqH => "lcrq+h",
+            Self::LcrqCas => "lcrq-cas",
+            Self::Ms => "ms",
+            Self::TwoLock => "two-lock",
+            Self::Cc => "cc-queue",
+            Self::H => "h-queue",
+            Self::Fc => "fc-queue",
+            Self::Infinite => "infinite-array",
+            Self::Sim => "sim-queue",
+            Self::Optimistic => "optimistic",
+            Self::Baskets => "baskets",
+        }
+    }
+
+    /// Whether this kind participates in hierarchical (multi-cluster) runs
+    /// in the paper's figures.
+    pub fn is_hierarchical(&self) -> bool {
+        matches!(self, Self::LcrqH | Self::H)
+    }
+}
+
+/// Instantiates a queue. `ring_order` applies to the LCRQ variants;
+/// `clusters` to the hierarchical algorithms.
+pub fn make_queue(
+    kind: QueueKind,
+    ring_order: u32,
+    clusters: usize,
+) -> Box<dyn ConcurrentQueue> {
+    let cfg = LcrqConfig::new().with_ring_order(ring_order);
+    match kind {
+        QueueKind::Lcrq => Box::new(Lcrq::with_config(cfg)),
+        QueueKind::LcrqH => Box::new(Lcrq::with_config(
+            cfg.with_hierarchical(HierarchicalConfig::default()),
+        )),
+        QueueKind::LcrqCas => Box::new(LcrqCas::with_config(cfg)),
+        QueueKind::Ms => Box::new(MsQueue::new()),
+        QueueKind::TwoLock => Box::new(TwoLockQueue::new()),
+        QueueKind::Cc => Box::new(CcQueue::new()),
+        QueueKind::H => Box::new(HQueue::new(clusters.max(1))),
+        QueueKind::Fc => Box::new(FcQueue::new()),
+        QueueKind::Infinite => Box::new(InfiniteArrayQueue::<lcrq_atomic::HardwareFaa>::new()),
+        QueueKind::Sim => Box::new(SimQueue::new()),
+        QueueKind::Optimistic => Box::new(OptimisticQueue::new()),
+        QueueKind::Baskets => Box::new(BasketsQueue::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_names() {
+        for &k in ALL_KINDS {
+            assert_eq!(QueueKind::parse(k.name()), Some(k), "{}", k.name());
+        }
+        assert_eq!(QueueKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn every_kind_constructs_and_works() {
+        for &k in ALL_KINDS {
+            let q = make_queue(k, 8, 2);
+            q.enqueue(1);
+            q.enqueue(2);
+            assert_eq!(q.dequeue(), Some(1), "{}", k.name());
+            assert_eq!(q.dequeue(), Some(2));
+            assert_eq!(q.dequeue(), None);
+        }
+    }
+
+    #[test]
+    fn trait_names_match_registry_names() {
+        for &k in ALL_KINDS {
+            let q = make_queue(k, 8, 2);
+            assert_eq!(q.name(), k.name());
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The paper's enqueue/dequeue-pairs workload (§5, "Methodology").
+
+use lcrq_queues::ConcurrentQueue;
+use lcrq_util::metrics::{self, Event};
+use lcrq_util::spin::spin_for_ns;
+use lcrq_util::topology::set_current_cluster;
+use lcrq_util::{LatencyHistogram, XorShift64Star};
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// Parameters of one measured run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Enqueue/dequeue pairs per thread (the paper uses 10^7; scale down on
+    /// small hosts).
+    pub pairs: u64,
+    /// Items enqueued before the measurement starts (Figure 7a uses 2^16).
+    pub prefill: u64,
+    /// Upper bound of the random inter-operation pause (paper: 100 ns;
+    /// 0 disables).
+    pub max_delay_ns: u64,
+    /// Simulated clusters: thread `t` declares cluster `t % clusters`
+    /// (matching the paper's round-robin socket pinning). 1 = flat.
+    pub clusters: usize,
+    /// Record per-operation latency (Figure 8); adds two clock reads per op.
+    pub record_latency: bool,
+    /// Pin threads round-robin over available CPUs (no-op on 1-CPU hosts).
+    pub pin: bool,
+}
+
+impl RunConfig {
+    /// A small default: 4 threads, 10⁴ pairs, paper-style 100 ns jitter.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            pairs: 10_000,
+            prefill: 0,
+            max_delay_ns: 100,
+            clusters: 1,
+            record_latency: false,
+            pin: true,
+        }
+    }
+}
+
+/// Results of one measured run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Wall-clock duration of the measured region.
+    pub wall: Duration,
+    /// Completed operations (2 × threads × pairs).
+    pub total_ops: u64,
+    /// Throughput in million operations per second.
+    pub mops: f64,
+    /// Software performance counters accumulated during the run.
+    pub counters: metrics::Snapshot,
+    /// Merged per-operation latency histogram (if requested).
+    pub latency: Option<LatencyHistogram>,
+    /// Number of threads the run used (for derived statistics).
+    pub threads_used: usize,
+}
+
+impl RunResult {
+    /// Mean per-operation latency in nanoseconds, measured as wall time ×
+    /// threads / ops — the "latency" the paper's tables report (total CPU
+    /// time per completed operation).
+    pub fn mean_op_latency_ns(&self) -> f64 {
+        self.wall.as_nanos() as f64 * self.threads_used as f64 / self.total_ops as f64
+    }
+}
+
+/// Runs the pairs workload once and collects throughput + counters.
+pub fn run_workload<Q: ConcurrentQueue>(queue: &Q, cfg: &RunConfig) -> RunResult {
+    assert!(cfg.threads > 0 && cfg.pairs > 0);
+    // Prefill happens *before* the baseline snapshot so its atomic
+    // operations (including any ring spills) do not pollute the measured
+    // per-operation statistics.
+    for i in 0..cfg.prefill {
+        queue.enqueue(i);
+    }
+    metrics::flush(); // park prefill + stale counts outside the window
+    let before = metrics::snapshot();
+
+    let barrier = Barrier::new(cfg.threads + 1);
+    let hist_sink: Mutex<LatencyHistogram> = Mutex::new(LatencyHistogram::new());
+    let (barrier_ref, hist_ref) = (&barrier, &hist_sink);
+
+    let wall = std::thread::scope(|s| {
+        for t in 0..cfg.threads {
+            s.spawn(move || {
+                if cfg.pin {
+                    let _ = lcrq_util::affinity::pin_round_robin(t);
+                }
+                set_current_cluster(t % cfg.clusters.max(1));
+                let mut rng = XorShift64Star::new(0x9E37 + t as u64);
+                let mut local_hist = cfg.record_latency.then(LatencyHistogram::new);
+                barrier_ref.wait();
+                for i in 0..cfg.pairs {
+                    let v = ((t as u64) << 40) | i;
+                    if let Some(h) = &mut local_hist {
+                        let t0 = Instant::now();
+                        queue.enqueue(v);
+                        h.record(t0.elapsed().as_nanos() as u64);
+                    } else {
+                        queue.enqueue(v);
+                    }
+                    metrics::inc(Event::EnqOp);
+                    if cfg.max_delay_ns > 0 {
+                        spin_for_ns(rng.next_below(cfg.max_delay_ns + 1));
+                    }
+                    let got = if let Some(h) = &mut local_hist {
+                        let t0 = Instant::now();
+                        let got = queue.dequeue();
+                        h.record(t0.elapsed().as_nanos() as u64);
+                        got
+                    } else {
+                        queue.dequeue()
+                    };
+                    metrics::inc(if got.is_some() {
+                        Event::DeqOp
+                    } else {
+                        Event::DeqEmpty
+                    });
+                    if cfg.max_delay_ns > 0 {
+                        spin_for_ns(rng.next_below(cfg.max_delay_ns + 1));
+                    }
+                }
+                metrics::flush();
+                if let Some(h) = local_hist {
+                    hist_ref.lock().unwrap().merge(&h);
+                }
+            });
+        }
+        // Start the clock *before* releasing the barrier: on a single-core
+        // host a worker may otherwise run to completion before this thread
+        // is rescheduled, yielding a near-zero measurement.
+        let start = Instant::now();
+        barrier_ref.wait();
+        // scope joins all workers on exit
+        ScopeTimer { start }
+    });
+
+    let wall = wall.start.elapsed();
+    let after = metrics::snapshot();
+    let total_ops = 2 * cfg.threads as u64 * cfg.pairs;
+    RunResult {
+        wall,
+        total_ops,
+        mops: total_ops as f64 / wall.as_secs_f64() / 1e6,
+        counters: after.delta_since(&before),
+        latency: cfg
+            .record_latency
+            .then(|| std::mem::take(&mut *hist_sink.lock().unwrap())),
+        threads_used: cfg.threads,
+    }
+}
+
+struct ScopeTimer {
+    start: Instant,
+}
+
+/// Runs the workload `runs` times and returns the run with median
+/// throughput plus the mean throughput (the paper averages 10 runs).
+pub fn run_averaged<Q: ConcurrentQueue>(
+    mk_queue: impl Fn() -> Q,
+    cfg: &RunConfig,
+    runs: usize,
+) -> (RunResult, f64) {
+    assert!(runs > 0);
+    let mut results: Vec<RunResult> = (0..runs)
+        .map(|_| {
+            let q = mk_queue();
+            run_workload(&q, cfg)
+        })
+        .collect();
+    let mean = results.iter().map(|r| r.mops).sum::<f64>() / runs as f64;
+    results.sort_by(|a, b| a.mops.total_cmp(&b.mops));
+    let median = results.remove(runs / 2);
+    (median, mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrq_core::Lcrq;
+
+    #[test]
+    fn workload_completes_and_counts_ops() {
+        let q = Lcrq::new();
+        let mut cfg = RunConfig::new(2);
+        cfg.pairs = 500;
+        cfg.max_delay_ns = 0;
+        cfg.pin = false;
+        let r = run_workload(&q, &cfg);
+        assert_eq!(r.total_ops, 2_000);
+        assert!(r.mops > 0.0);
+        let enq = r.counters.get(Event::EnqOp);
+        assert_eq!(enq, 1_000);
+        assert_eq!(
+            r.counters.get(Event::DeqOp) + r.counters.get(Event::DeqEmpty),
+            1_000
+        );
+    }
+
+    #[test]
+    fn prefill_leaves_items_behind() {
+        let q = Lcrq::new();
+        let mut cfg = RunConfig::new(1);
+        cfg.pairs = 100;
+        cfg.prefill = 50;
+        cfg.max_delay_ns = 0;
+        cfg.pin = false;
+        let r = run_workload(&q, &cfg);
+        // Pairs are balanced, so the 50 prefilled items (or equivalents)
+        // remain.
+        let mut left = 0;
+        while q.dequeue().is_some() {
+            left += 1;
+        }
+        assert_eq!(left, 50);
+        assert_eq!(r.counters.get(Event::DeqEmpty), 0, "never empty with prefill");
+    }
+
+    #[test]
+    fn latency_recording_produces_histogram() {
+        let q = Lcrq::new();
+        let mut cfg = RunConfig::new(1);
+        cfg.pairs = 200;
+        cfg.record_latency = true;
+        cfg.max_delay_ns = 0;
+        cfg.pin = false;
+        let r = run_workload(&q, &cfg);
+        let h = r.latency.expect("histogram requested");
+        assert_eq!(h.count(), 400);
+        assert!(h.percentile(99.0) >= h.percentile(50.0));
+    }
+
+    #[test]
+    fn averaged_runs_return_median() {
+        let cfg = {
+            let mut c = RunConfig::new(1);
+            c.pairs = 100;
+            c.max_delay_ns = 0;
+            c.pin = false;
+            c
+        };
+        let (median, mean) = run_averaged(Lcrq::new, &cfg, 3);
+        assert!(median.mops > 0.0 && mean > 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! H-Synch (Fatourou & Kallimanis, PPoPP 2012): hierarchical combining.
+//!
+//! One CC-Synch request list per *cluster* (processor socket on the paper's
+//! machine; simulated clusters here — see DESIGN.md P1) plus one global
+//! lock. A thread announces on its own cluster's list; the thread promoted
+//! to that cluster's combiner acquires the global lock and serves a batch of
+//! its cluster's requests. Batching per cluster keeps the object's cache
+//! lines on one socket for the duration of a batch, amortizing the expensive
+//! cross-socket transfer — the same locality effect LCRQ+H gets without
+//! locks.
+//!
+//! Threads declare their cluster with
+//! [`lcrq_util::topology::set_current_cluster`]; undeclared threads use
+//! cluster 0.
+
+use core::cell::UnsafeCell;
+
+use crate::list::{Announced, RequestList};
+use crate::lock::TasLock;
+use crate::seq::SeqObject;
+use crate::DEFAULT_HELP_LIMIT;
+use lcrq_util::topology::current_cluster;
+
+/// A linearizable concurrent version of `S` built with hierarchical
+/// (per-cluster) combining.
+pub struct HSynch<S: SeqObject> {
+    lists: Vec<RequestList<S>>,
+    lock: TasLock,
+    state: UnsafeCell<S>,
+    help_limit: usize,
+}
+
+// SAFETY: `state` is only touched under `lock`; ops/results cross threads
+// via the request lists' release/acquire edges.
+unsafe impl<S: SeqObject + Send> Send for HSynch<S> {}
+unsafe impl<S: SeqObject + Send> Sync for HSynch<S> {}
+
+impl<S: SeqObject> HSynch<S> {
+    /// Wraps `state` for `num_clusters` clusters with the default help limit.
+    pub fn new(state: S, num_clusters: usize) -> Self {
+        Self::with_help_limit(state, num_clusters, DEFAULT_HELP_LIMIT)
+    }
+
+    /// Wraps `state`; each cluster combiner serves at most `help_limit`
+    /// requests per global-lock acquisition.
+    pub fn with_help_limit(state: S, num_clusters: usize, help_limit: usize) -> Self {
+        let num_clusters = num_clusters.max(1);
+        Self {
+            lists: (0..num_clusters).map(|_| RequestList::new()).collect(),
+            lock: TasLock::new(),
+            state: UnsafeCell::new(state),
+            help_limit: help_limit.max(1),
+        }
+    }
+
+    /// Number of clusters this instance was built for.
+    pub fn num_clusters(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Applies `op` linearizably. The calling thread's cluster is read from
+    /// [`current_cluster`] (modulo the configured cluster count).
+    pub fn apply(&self, op: S::Op) -> S::Ret {
+        let cluster = current_cluster() % self.lists.len();
+        match self.lists[cluster].announce(op) {
+            Announced::Done(ret) => ret,
+            Announced::Combine(start) => {
+                let guard = self.lock.lock();
+                // SAFETY: we are this cluster's combiner and hold the global
+                // lock, so access to `state` is exclusive.
+                let ret = unsafe {
+                    self.lists[cluster].combine(start, &mut *self.state.get(), self.help_limit)
+                };
+                drop(guard);
+                ret
+            }
+        }
+    }
+
+    /// Exclusive access to the wrapped state (no concurrency possible).
+    pub fn state_mut(&mut self) -> &mut S {
+        self.state.get_mut()
+    }
+
+    /// Consumes the wrapper, returning the sequential state.
+    pub fn into_inner(self) -> S {
+        self.state.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::SeqCounter;
+    use lcrq_util::topology::set_current_cluster;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_semantics() {
+        let c = HSynch::new(SeqCounter::default(), 4);
+        assert_eq!(c.apply(2), 0);
+        assert_eq!(c.apply(3), 2);
+        assert_eq!(c.into_inner().apply(0), 5);
+    }
+
+    #[test]
+    fn zero_clusters_clamped() {
+        let c = HSynch::new(SeqCounter::default(), 0);
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.apply(1), 0);
+    }
+
+    #[test]
+    fn no_lost_updates_across_clusters() {
+        let c = Arc::new(HSynch::new(SeqCounter::default(), 4));
+        let threads = 8usize;
+        let per = 4_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    set_current_cluster(t % 4);
+                    for _ in 0..per {
+                        c.apply(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let c = Arc::try_unwrap(c).ok().expect("sole owner");
+        assert_eq!(c.into_inner().apply(0), threads as u64 * per);
+    }
+
+    #[test]
+    fn previous_values_unique_across_clusters() {
+        let c = Arc::new(HSynch::new(SeqCounter::default(), 2));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    set_current_cluster(t % 2);
+                    (0..2_000).map(|_| c.apply(1)).collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        let mut seen: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threads_beyond_cluster_count_wrap() {
+        let c = HSynch::new(SeqCounter::default(), 2);
+        set_current_cluster(7); // maps to list 7 % 2 = 1
+        assert_eq!(c.apply(1), 0);
+        set_current_cluster(0);
+    }
+
+    #[test]
+    fn single_cluster_degenerates_to_ccsynch_behaviour() {
+        let c = Arc::new(HSynch::new(SeqCounter::default(), 1));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        c.apply(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let c = Arc::try_unwrap(c).ok().expect("sole owner");
+        assert_eq!(c.into_inner().apply(0), 4_000);
+    }
+}

@@ -1,0 +1,105 @@
+//! Thread-local pointer cache keyed by instance id.
+//!
+//! Combining constructions recycle one "spare" list node per (thread,
+//! instance) pair. Instance ids are process-unique and never reused, so a
+//! stale entry for a dropped instance is never dereferenced — lookups by a
+//! live instance's id cannot alias it. The cache is bounded: least-recently
+//! inserted entries are evicted first (they are only a cache; eviction just
+//! costs the instance one fresh allocation).
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::cell::RefCell;
+
+const MAX_ENTRIES: usize = 64;
+
+thread_local! {
+    static CACHE: RefCell<Vec<(u64, *mut ())>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a process-unique instance id.
+pub(crate) fn new_instance_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Returns the cached pointer for `instance`, or caches `init()`.
+pub(crate) fn get_or_insert(instance: u64, init: impl FnOnce() -> *mut ()) -> *mut () {
+    CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        if let Some(&(_, p)) = c.iter().find(|(id, _)| *id == instance) {
+            return p;
+        }
+        let p = init();
+        if c.len() >= MAX_ENTRIES {
+            c.remove(0);
+        }
+        c.push((instance, p));
+        p
+    })
+}
+
+/// Replaces the cached pointer for `instance` (which must already exist).
+pub(crate) fn replace(instance: u64, ptr: *mut ()) {
+    CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        if let Some(entry) = c.iter_mut().find(|(id, _)| *id == instance) {
+            entry.1 = ptr;
+        } else {
+            if c.len() >= MAX_ENTRIES {
+                c.remove(0);
+            }
+            c.push((instance, ptr));
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let a = new_instance_id();
+        let b = new_instance_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cache_round_trip() {
+        let id = new_instance_id();
+        let p1 = get_or_insert(id, || 0x10 as *mut ());
+        assert_eq!(p1, 0x10 as *mut ());
+        let p2 = get_or_insert(id, || 0x20 as *mut ());
+        assert_eq!(p2, 0x10 as *mut (), "init must not rerun");
+        replace(id, 0x30 as *mut ());
+        let p3 = get_or_insert(id, || 0x40 as *mut ());
+        assert_eq!(p3, 0x30 as *mut ());
+    }
+
+    #[test]
+    fn eviction_keeps_cache_bounded() {
+        let victim = new_instance_id();
+        get_or_insert(victim, || 0x1 as *mut ());
+        for _ in 0..MAX_ENTRIES + 4 {
+            let id = new_instance_id();
+            get_or_insert(id, || 0x2 as *mut ());
+        }
+        // victim should have been evicted; init runs again.
+        let p = get_or_insert(victim, || 0x99 as *mut ());
+        assert_eq!(p, 0x99 as *mut ());
+    }
+
+    #[test]
+    fn cache_is_thread_local() {
+        let id = new_instance_id();
+        get_or_insert(id, || 0xAA as *mut ());
+        let from_other = std::thread::spawn(move || {
+            get_or_insert(id, || 0xBB as *mut ()) as usize
+        })
+        .join()
+        .unwrap();
+        assert_eq!(from_other, 0xBB);
+        assert_eq!(get_or_insert(id, || 0xCC as *mut ()), 0xAA as *mut ());
+    }
+}

@@ -1,0 +1,570 @@
+//! The CRQ — concurrent ring queue with tantrum semantics (paper §4.1).
+//!
+//! A ring of `R` nodes with strictly increasing 64-bit `head`/`tail`
+//! indices, both updated with fetch-and-add. Index `i` refers to node
+//! `i mod R`. The most significant bit of `tail` marks the ring CLOSED.
+//!
+//! Invariants maintained by the node transition protocol:
+//!
+//! * An occupied node `(s, i, x)` can only be emptied by the dequeuer whose
+//!   F&A returned exactly `i` (the *dequeue transition*).
+//! * A dequeuer that arrives at an *empty* node before its matching
+//!   enqueuer advances the node's index past its own (`empty transition`),
+//!   preventing any same-or-older enqueue from using the node.
+//! * A dequeuer that arrives at an *occupied* node it cannot dequeue
+//!   (a previous-lap item) clears the *safe* bit (`unsafe transition`);
+//!   a later enqueuer may only use an unsafe node after verifying its
+//!   matching dequeuer has not started (`head <= t`).
+//!
+//! Because a dequeuer's F&A can push `head` past `tail`, the queue can enter
+//! the transient "inconsistent" state `head > tail`; [`Crq::fix_state`]
+//! repairs it before a dequeue reports empty, so enqueuers are not forced to
+//! burn F&As on already-skipped indices.
+
+use core::marker::PhantomData;
+use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+use lcrq_atomic::{ops, FaaPolicy, HardwareFaa};
+use lcrq_util::metrics::{self, Event};
+use lcrq_util::CachePadded;
+
+use crate::config::LcrqConfig;
+use crate::node::Node;
+use crate::BOTTOM;
+
+/// Error returned by [`Crq::enqueue`] once the ring is closed (tantrum
+/// semantics: every subsequent enqueue also returns `CrqClosed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrqClosed;
+
+/// Bit 63 of `tail`: the ring is closed to further enqueues.
+const CLOSED_BIT: u64 = 1 << 63;
+
+/// A concurrent ring queue (bounded, closable). Most users want the
+/// unbounded [`Lcrq`](crate::Lcrq) built from a list of these.
+///
+/// Generic over the fetch-and-add policy `P` so the same code yields the
+/// paper's LCRQ (hardware F&A) and LCRQ-CAS (CAS-loop F&A) variants.
+pub struct Crq<P: FaaPolicy = HardwareFaa> {
+    head: CachePadded<AtomicU64>,
+    /// Bit 63 = closed; bits 62..0 = the tail index.
+    tail: CachePadded<AtomicU64>,
+    /// The next CRQ in an LCRQ list (null while this is the tail ring).
+    pub(crate) next: CachePadded<AtomicPtr<Crq<P>>>,
+    /// Identifies the cluster whose threads currently "own" the ring
+    /// (LCRQ+H); unused unless the hierarchical optimization is enabled.
+    pub(crate) cluster: CachePadded<AtomicU64>,
+    ring: Box<[Node]>,
+    mask: u64,
+    starvation_limit: u32,
+    bounded_wait_spins: u32,
+    _faa: PhantomData<P>,
+}
+
+impl<P: FaaPolicy> Crq<P> {
+    /// Creates an empty ring of `1 << config.ring_order` nodes.
+    pub fn new(config: &LcrqConfig) -> Self {
+        Self::with_seed(config, None)
+    }
+
+    /// Creates a ring pre-seeded with one item (used when an enqueuer
+    /// appends a fresh CRQ "initialized to contain x", Figure 5c line 162).
+    pub fn with_seed(config: &LcrqConfig, seed: Option<u64>) -> Self {
+        let size = config.ring_size();
+        let ring: Vec<Node> = (0..size).map(Node::new).collect();
+        let mut tail = 0;
+        if let Some(x) = seed {
+            debug_assert!(x != BOTTOM);
+            let v = ring[0].read();
+            let ok = ring[0].try_enqueue(&v, 0, x);
+            debug_assert!(ok);
+            let _ = ok;
+            tail = 1;
+        }
+        metrics::inc(Event::CrqAlloc);
+        Self {
+            head: CachePadded::new(AtomicU64::new(0)),
+            tail: CachePadded::new(AtomicU64::new(tail)),
+            next: CachePadded::new(AtomicPtr::new(core::ptr::null_mut())),
+            cluster: CachePadded::new(AtomicU64::new(0)),
+            ring: ring.into_boxed_slice(),
+            mask: size - 1,
+            starvation_limit: config.starvation_limit,
+            bounded_wait_spins: config.bounded_wait_spins,
+            _faa: PhantomData,
+        }
+    }
+
+    /// Ring size `R`.
+    pub fn ring_size(&self) -> u64 {
+        self.mask + 1
+    }
+
+    #[inline]
+    fn node(&self, index: u64) -> &Node {
+        &self.ring[(index & self.mask) as usize]
+    }
+
+    /// Appends `value` (must be `< BOTTOM`), or reports the ring closed.
+    ///
+    /// Figure 3d. Fails (closing the ring) when the ring appears full
+    /// (`t - head >= R`) or after `starvation_limit` placement failures.
+    pub fn enqueue(&self, value: u64) -> Result<(), CrqClosed> {
+        debug_assert!(value != BOTTOM, "BOTTOM is reserved");
+        let mut attempts = 0u32;
+        loop {
+            let raw = P::fetch_add(&self.tail, 1); // F&A on all 64 bits
+            if raw & CLOSED_BIT != 0 {
+                return Err(CrqClosed);
+            }
+            let t = raw;
+            let node = self.node(t);
+            metrics::inc(Event::NodeVisit);
+            let view = node.read();
+            // Adversary injection inside the read→CAS2 window (see
+            // lcrq_util::adversary). LCRQ's CAS2 targets a slot only this
+            // F&A winner races for, so even a mid-window preemption rarely
+            // fails it — and a preempted operation blocks nobody.
+            lcrq_util::adversary::preempt_point();
+            if view.is_empty()
+                && view.idx <= t
+                && (view.safe || self.head.load(Ordering::SeqCst) <= t)
+                && node.try_enqueue(&view, t, value)
+            {
+                return Ok(());
+            }
+            attempts += 1;
+            let h = self.head.load(Ordering::SeqCst);
+            if t.wrapping_sub(h) as i64 >= self.ring_size() as i64
+                || attempts >= self.starvation_limit
+            {
+                self.close();
+                return Err(CrqClosed);
+            }
+        }
+    }
+
+    /// Removes the oldest value, or returns `None` when (linearizably)
+    /// empty. Figure 3b.
+    pub fn dequeue(&self) -> Option<u64> {
+        loop {
+            let h = P::fetch_add(&self.head, 1);
+            let node = self.node(h);
+            let mut spins = self.bounded_wait_spins;
+            loop {
+                metrics::inc(Event::NodeVisit);
+                let view = node.read();
+                lcrq_util::adversary::preempt_point(); // inside the read→CAS2 window
+                if view.idx > h {
+                    break; // overtaken between our F&A and the read
+                }
+                if !view.is_empty() {
+                    if view.idx == h {
+                        // Our item: dequeue transition.
+                        if node.try_dequeue(&view, self.ring_size()) {
+                            return Some(view.val);
+                        }
+                    } else {
+                        // Previous-lap item we cannot take: mark unsafe so
+                        // enq_h cannot blindly store into this node.
+                        if node.try_mark_unsafe(&view) {
+                            metrics::inc(Event::UnsafeTransition);
+                            break;
+                        }
+                    }
+                } else {
+                    // Empty node with idx <= h. If the matching enqueuer is
+                    // active (tail already past h), wait briefly for its
+                    // enqueue transition instead of wasting both operations
+                    // (§4.1.1 bounded waiting).
+                    if spins > 0 && self.tail_index() > h {
+                        spins -= 1;
+                        metrics::inc(Event::SpinWait);
+                        core::hint::spin_loop();
+                        continue;
+                    }
+                    // Empty transition: block index h (and all older laps).
+                    if node.try_empty(&view, h, self.ring_size()) {
+                        metrics::inc(Event::EmptyTransition);
+                        break;
+                    }
+                }
+                // A CAS2 failed: the node changed; re-read and retry.
+            }
+            // Failed to dequeue at h; is the queue empty?
+            let t = self.tail_index();
+            if t <= h + 1 {
+                self.fix_state();
+                return None;
+            }
+        }
+    }
+
+    /// Closes the ring: every future enqueue returns [`CrqClosed`].
+    /// Idempotent; uses test-and-set on tail's closed bit (Figure 3d l.99).
+    pub fn close(&self) {
+        if !ops::tas_bit(&self.tail, 63) {
+            metrics::inc(Event::CrqClosed);
+        }
+    }
+
+    /// Whether the ring has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.tail.load(Ordering::SeqCst) & CLOSED_BIT != 0
+    }
+
+    /// Current head index (diagnostic; racy).
+    pub fn head_index(&self) -> u64 {
+        self.head.load(Ordering::SeqCst)
+    }
+
+    /// Current tail index without the closed bit (diagnostic; racy).
+    pub fn tail_index(&self) -> u64 {
+        self.tail.load(Ordering::SeqCst) & !CLOSED_BIT
+    }
+
+    /// Repairs `head > tail` (caused by dequeuers' F&As overshooting) by
+    /// CASing `tail` up to `head`, so enqueuers do not receive a stream of
+    /// already-skipped indices. Figure 3c.
+    fn fix_state(&self) {
+        loop {
+            let t = P::fetch_add(&self.tail, 0); // linearized read, all 64 bits
+            let h = P::fetch_add(&self.head, 0);
+            if self.tail.load(Ordering::SeqCst) != t {
+                continue; // tail moved under us; re-read
+            }
+            // If closed, t's bit 63 makes it huge: nothing to fix, which is
+            // correct — no enqueuer will take indices from a closed ring.
+            if h <= t {
+                return;
+            }
+            if ops::cas(&self.tail, t, h).is_ok() {
+                return;
+            }
+        }
+    }
+}
+
+// SAFETY: all shared state is atomics; values are plain u64.
+unsafe impl<P: FaaPolicy> Send for Crq<P> {}
+unsafe impl<P: FaaPolicy> Sync for Crq<P> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+    use std::sync::Barrier;
+
+    fn small_config(order: u32) -> LcrqConfig {
+        LcrqConfig::new().with_ring_order(order)
+    }
+
+    fn crq(order: u32) -> Crq {
+        Crq::new(&small_config(order))
+    }
+
+    #[test]
+    fn empty_dequeue_returns_none() {
+        let q = crq(4);
+        assert_eq!(q.dequeue(), None);
+        assert_eq!(q.dequeue(), None);
+        assert!(!q.is_closed());
+    }
+
+    #[test]
+    fn fifo_order_sequential() {
+        let q = crq(6);
+        for i in 0..60 {
+            q.enqueue(i).unwrap();
+        }
+        for i in 0..60 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn wraps_around_the_ring_many_times() {
+        let q = crq(3); // R = 8
+        for lap in 0..100u64 {
+            for i in 0..6 {
+                q.enqueue(lap * 10 + i).unwrap();
+            }
+            for i in 0..6 {
+                assert_eq!(q.dequeue(), Some(lap * 10 + i));
+            }
+        }
+        assert_eq!(q.dequeue(), None);
+        assert!(!q.is_closed(), "in-capacity use must never close the ring");
+    }
+
+    #[test]
+    fn filling_the_ring_closes_it() {
+        let q = crq(3); // R = 8
+        let mut accepted = 0;
+        for i in 0..20 {
+            match q.enqueue(i) {
+                Ok(()) => accepted += 1,
+                Err(CrqClosed) => break,
+            }
+        }
+        assert!(q.is_closed());
+        assert!(accepted >= 8 - 1, "a ring holds nearly R items: {accepted}");
+        // Tantrum semantics: closed forever.
+        assert_eq!(q.enqueue(99), Err(CrqClosed));
+        // All accepted items are still dequeueable in order.
+        for i in 0..accepted {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn explicit_close_is_idempotent_and_preserves_items() {
+        let q = crq(5);
+        q.enqueue(1).unwrap();
+        q.enqueue(2).unwrap();
+        q.close();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.enqueue(3), Err(CrqClosed));
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn seeded_ring_contains_its_item() {
+        let q: Crq = Crq::with_seed(&small_config(5), Some(42));
+        assert_eq!(q.dequeue(), Some(42));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn dequeue_on_empty_fixes_head_overshoot() {
+        let q = crq(5);
+        // Each empty dequeue bumps head past tail; fix_state must repair so
+        // a subsequent enqueue/dequeue pair still works at full speed.
+        for _ in 0..10 {
+            assert_eq!(q.dequeue(), None);
+        }
+        assert!(q.head_index() <= q.tail_index(), "fixState must repair head>tail");
+        q.enqueue(5).unwrap();
+        assert_eq!(q.dequeue(), Some(5));
+    }
+
+    #[test]
+    fn mpmc_stress_no_loss_no_duplication() {
+        // Ring big enough to hold the whole backlog (4 × 5000 < 2^15), so
+        // the "possibly full" close never triggers; a bare CRQ is bounded.
+        let q = crq(15);
+        let producers = 4usize;
+        let per = 5_000u64;
+        let barrier = Barrier::new(producers + 2);
+        let producers_done = StdAtomicU64::new(0);
+        let q = &q;
+        let barrier = &barrier;
+        let producers_done = &producers_done;
+        let streams: Vec<Vec<u64>> = std::thread::scope(|s| {
+            for p in 0..producers {
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..per {
+                        q.enqueue(((p as u64) << 40) | i)
+                            .expect("ring sized to never close in this test");
+                    }
+                    producers_done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            let consumers: Vec<_> = (0..2)
+                .map(|_| {
+                    s.spawn(move || {
+                        barrier.wait();
+                        let mut got = Vec::new();
+                        loop {
+                            match q.dequeue() {
+                                Some(v) => got.push(v),
+                                None => {
+                                    if producers_done.load(Ordering::SeqCst)
+                                        == producers as u64
+                                    {
+                                        // This dequeue linearizes after the
+                                        // flag read, hence after every
+                                        // enqueue: None now means drained.
+                                        match q.dequeue() {
+                                            Some(v) => got.push(v),
+                                            None => break,
+                                        }
+                                    } else {
+                                        std::thread::yield_now();
+                                    }
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            consumers.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<u64> = streams.iter().flatten().copied().collect();
+        assert_eq!(all.len() as u64, producers as u64 * per, "lost items");
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len() as u64, producers as u64 * per, "duplicates!");
+        // Per-producer order within each consumer stream.
+        for stream in &streams {
+            let mut last = std::collections::HashMap::new();
+            for &v in stream {
+                let (p, i) = (v >> 40, v & ((1 << 40) - 1));
+                if let Some(&prev) = last.get(&p) {
+                    assert!(i > prev, "per-producer order violated");
+                }
+                last.insert(p, i);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_ring_under_contention_closes_rather_than_blocks() {
+        // R=2 with 4 threads: enqueues must either succeed or close the
+        // ring; nothing may deadlock.
+        let q = crq(1);
+        let q = &q;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        if q.enqueue(i).is_err() {
+                            break;
+                        }
+                        let _ = q.dequeue();
+                    }
+                });
+            }
+        });
+        // Drain whatever remains.
+        while q.dequeue().is_some() {}
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn bounded_wait_disabled_still_correct() {
+        let cfg = small_config(10).with_bounded_wait(0);
+        let q: Crq = Crq::new(&cfg);
+        for i in 0..100 {
+            q.enqueue(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+    }
+
+    #[test]
+    fn starving_enqueuer_closes_the_ring() {
+        // Deterministically exercise Figure 3d's starving() branch: a
+        // dequeuer's empty transition advances node 0's index to R; we then
+        // rewind tail (test-only, emulating an enqueuer whose F&A raced the
+        // dequeuer) so the next enqueue receives t = 0, observes idx > t,
+        // fails, and — with starvation limit 1 — closes the ring even
+        // though it is nowhere near full.
+        let cfg = small_config(4).with_starvation_limit(1);
+        let q: Crq = Crq::new(&cfg);
+        assert_eq!(q.dequeue(), None); // empty transition on node 0 (h = 0)
+        q.tail.store(0, Ordering::SeqCst); // rewind: next enqueue gets t = 0
+        assert_eq!(q.enqueue(7), Err(CrqClosed));
+        assert!(q.is_closed());
+        assert!(
+            q.tail_index() < q.ring_size(),
+            "ring closed by starvation, not by being full"
+        );
+    }
+
+    #[test]
+    fn starvation_limit_bounds_enqueue_attempts() {
+        // Same poisoned setup but with a higher limit: the enqueue performs
+        // exactly `limit` F&As before giving up (each retry re-fetches an
+        // index; only t=0 is poisoned, so the second attempt succeeds —
+        // verify by allowing it).
+        let cfg = small_config(4).with_starvation_limit(8);
+        let q: Crq = Crq::new(&cfg);
+        assert_eq!(q.dequeue(), None);
+        q.tail.store(0, Ordering::SeqCst);
+        // t=0 fails (idx R > 0); retry gets t=1 which succeeds.
+        assert_eq!(q.enqueue(7), Ok(()));
+        assert!(!q.is_closed());
+        assert_eq!(q.dequeue(), Some(7));
+    }
+
+    #[test]
+    fn huge_indices_behave_like_small_ones() {
+        // The paper assumes head/tail never exceed 2^63 (§4.1). Fast-forward
+        // both indices deep into that range and verify the ring protocol
+        // (node index arithmetic, wrap, closed-bit packing) still works.
+        let q = crq(4); // R = 16
+        let base: u64 = (1 << 62) + 5;
+        // Advance indices coherently: nodes must also carry matching idx
+        // values, so replay the advance through the public API is too slow;
+        // instead set head == tail == base and re-index the ring nodes by
+        // performing base-consistent empty transitions is equally slow.
+        // Pragmatic approach: set both counters to a multiple of R so node
+        // u's stored index (u) is congruent and `idx <= t` holds.
+        let aligned = base & !(q.ring_size() - 1); // multiple of R
+        q.head.store(aligned, Ordering::SeqCst);
+        q.tail.store(aligned, Ordering::SeqCst);
+        for i in 0..40 {
+            q.enqueue(i).unwrap();
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+        assert!(!q.is_closed());
+        assert!(q.head_index() >= aligned);
+    }
+
+    #[test]
+    fn closed_bit_does_not_corrupt_huge_tail() {
+        let q = crq(3);
+        let aligned = ((1u64 << 62) + 9) & !(q.ring_size() - 1);
+        q.head.store(aligned, Ordering::SeqCst);
+        q.tail.store(aligned, Ordering::SeqCst);
+        q.enqueue(1).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.tail_index(), aligned + 1, "closed bit must not leak into the index");
+        assert_eq!(q.enqueue(2), Err(CrqClosed));
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn lcrq_cas_variant_behaves_identically() {
+        use lcrq_atomic::CasLoopFaa;
+        let q: Crq<CasLoopFaa> = Crq::new(&small_config(8));
+        for i in 0..50 {
+            q.enqueue(i).unwrap();
+        }
+        for i in 0..50 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn common_case_uses_two_faa_per_pair() {
+        use lcrq_util::metrics;
+        let q = crq(8);
+        metrics::flush();
+        let before = metrics::snapshot();
+        for i in 0..100 {
+            q.enqueue(i).unwrap();
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        metrics::flush();
+        let d = metrics::snapshot().delta_since(&before);
+        // One F&A per enqueue + one per dequeue (no retries when solo).
+        assert_eq!(d.get(metrics::Event::Faa), 200);
+        // One CAS2 per op, all successful.
+        assert_eq!(d.get(metrics::Event::Cas2Attempt), 200);
+        assert_eq!(d.get(metrics::Event::Cas2Failure), 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! LCRQ — the linked concurrent ring queue of Morrison & Afek,
+//! *Fast Concurrent Queues for x86 Processors* (PPoPP 2013).
+//!
+//! LCRQ is a linearizable, op-wise nonblocking MPMC FIFO queue. Its design
+//! insight: the scalability collapse of CAS-based queues comes from *work
+//! wasted on CAS failures*, not from the raw cost of a contended location.
+//! x86's fetch-and-add always succeeds, so LCRQ uses contended F&A objects
+//! to spread threads across the slots of a ring, where they complete in
+//! parallel with (almost always uncontended) double-width CAS.
+//!
+//! # Architecture
+//!
+//! * [`crq::Crq`] — a bounded *concurrent ring queue* with **tantrum queue**
+//!   semantics: an enqueue may refuse and permanently close the ring. In the
+//!   common case an operation touches only one of head/tail — half the
+//!   synchronization of prior array queues.
+//! * [`Lcrq`] — a Michael–Scott linked list of CRQs: enqueuers that find the
+//!   tail ring closed append a fresh ring; dequeuers drain the head ring and
+//!   swing past it when empty. Retired rings are reclaimed with hazard
+//!   pointers. This restores unbounded, never-refusing queue semantics and
+//!   the op-wise nonblocking property.
+//! * [`LcrqCas`] — the same algorithm with every F&A emulated by a CAS loop
+//!   (the paper's LCRQ-CAS), isolating the contribution of always-succeeding
+//!   F&A. Generic parameter: [`lcrq_atomic::FaaPolicy`].
+//! * LCRQ+H — enable [`config::HierarchicalConfig`] to batch operations per
+//!   cluster (the paper's hierarchy-aware optimization, §4.1.1).
+//! * [`infinite::InfiniteArrayQueue`] — the idealized Figure-2 queue the
+//!   CRQ is derived from (SWAP-based, livelock-prone; educational).
+//! * [`typed::TypedLcrq`] — a generic `T`-valued facade over the raw `u64`
+//!   queue (values are boxed; the queue transfers pointers, as the paper's
+//!   workloads do).
+//!
+//! # Quick start
+//!
+//! ```
+//! use lcrq_core::Lcrq;
+//! use lcrq_queues::ConcurrentQueue as _;
+//!
+//! let q = Lcrq::new();
+//! q.enqueue(7);
+//! q.enqueue(8);
+//! assert_eq!(q.dequeue(), Some(7));
+//! assert_eq!(q.dequeue(), Some(8));
+//! assert_eq!(q.dequeue(), None);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod crq;
+pub mod infinite;
+pub mod lcrq;
+pub mod node;
+pub mod typed;
+
+pub use config::{HierarchicalConfig, LcrqConfig};
+pub use crq::{Crq, CrqClosed};
+pub use lcrq::{Lcrq, LcrqCas, LcrqGeneric};
+pub use typed::TypedLcrq;
+
+/// The reserved "empty cell" value ⊥. User values must be strictly below it.
+pub const BOTTOM: u64 = u64::MAX;
+
+/// Largest enqueueable value (`BOTTOM - 1`).
+pub const MAX_VALUE: u64 = u64::MAX - 1;

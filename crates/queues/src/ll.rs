@@ -1,0 +1,54 @@
+//! The singly linked node shared by the list-based queues (two-lock,
+//! CC-Queue, H-Queue). Uses the Michael & Scott dummy-node representation:
+//! the head always points at a dummy whose `next` is the oldest live item,
+//! and a dequeued node becomes the new dummy.
+
+use core::sync::atomic::{AtomicPtr, Ordering};
+
+pub(crate) struct LlNode {
+    pub(crate) next: AtomicPtr<LlNode>,
+    pub(crate) value: u64,
+}
+
+impl LlNode {
+    /// Allocates a node; `value` is arbitrary for dummies.
+    pub(crate) fn alloc(value: u64) -> *mut LlNode {
+        Box::into_raw(Box::new(LlNode {
+            next: AtomicPtr::new(core::ptr::null_mut()),
+            value,
+        }))
+    }
+}
+
+/// Frees a node chain starting at `head` (inclusive). Caller must have
+/// exclusive access to the whole chain.
+pub(crate) unsafe fn free_chain(head: *mut LlNode) {
+    let mut cur = head;
+    while !cur.is_null() {
+        // SAFETY: exclusive access per contract; nodes are Box-allocated.
+        let node = unsafe { Box::from_raw(cur) };
+        cur = node.next.load(Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_chain() {
+        let a = LlNode::alloc(1);
+        let b = LlNode::alloc(2);
+        let c = LlNode::alloc(3);
+        unsafe {
+            (*a).next.store(b, Ordering::Relaxed);
+            (*b).next.store(c, Ordering::Relaxed);
+            free_chain(a); // must free all three without leaks or crashes
+        }
+    }
+
+    #[test]
+    fn free_chain_of_null_is_noop() {
+        unsafe { free_chain(core::ptr::null_mut()) };
+    }
+}

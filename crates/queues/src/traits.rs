@@ -1,0 +1,68 @@
+//! The uniform MPMC FIFO queue interface used by the harness and tests.
+
+/// A linearizable multi-producer multi-consumer FIFO queue of `u64` values.
+///
+/// The paper's workloads transfer word-sized payloads (integers or
+/// pointers), so the benchmark-facing interface is monomorphic; the LCRQ
+/// core crate additionally exposes a generic typed API on top.
+pub trait ConcurrentQueue: Send + Sync {
+    /// Appends `value` to the queue.
+    fn enqueue(&self, value: u64);
+
+    /// Removes and returns the oldest value, or `None` if the queue is
+    /// (linearizably) empty.
+    fn dequeue(&self) -> Option<u64>;
+
+    /// Short algorithm name for harness output (e.g. `"lcrq"`, `"ms"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether the implementation is nonblocking (lock-free). Lock-based
+    /// algorithms lose progress when a lock holder / combiner is preempted,
+    /// the effect Figure 6b measures.
+    fn is_nonblocking(&self) -> bool;
+}
+
+impl<Q: ConcurrentQueue + ?Sized> ConcurrentQueue for &Q {
+    fn enqueue(&self, value: u64) {
+        (**self).enqueue(value)
+    }
+    fn dequeue(&self) -> Option<u64> {
+        (**self).dequeue()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn is_nonblocking(&self) -> bool {
+        (**self).is_nonblocking()
+    }
+}
+
+impl<Q: ConcurrentQueue + ?Sized> ConcurrentQueue for Box<Q> {
+    fn enqueue(&self, value: u64) {
+        (**self).enqueue(value)
+    }
+    fn dequeue(&self) -> Option<u64> {
+        (**self).dequeue()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn is_nonblocking(&self) -> bool {
+        (**self).is_nonblocking()
+    }
+}
+
+impl<Q: ConcurrentQueue + ?Sized> ConcurrentQueue for std::sync::Arc<Q> {
+    fn enqueue(&self, value: u64) {
+        (**self).enqueue(value)
+    }
+    fn dequeue(&self) -> Option<u64> {
+        (**self).dequeue()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn is_nonblocking(&self) -> bool {
+        (**self).is_nonblocking()
+    }
+}

@@ -1,0 +1,87 @@
+//! Scheduler-adversary injection for oversubscription studies.
+//!
+//! The paper's Figure 6b shows lock-based combining queues collapsing by
+//! 15–40× when oversubscribed: the OS eventually preempts a combiner (or
+//! lock holder) *inside* its critical window, and every other thread then
+//! burns its scheduling quantum waiting. On the reproduction host — a
+//! single hardware thread — operations are so short relative to the
+//! scheduling quantum (~100 ns vs ~4 ms) that natural preemption almost
+//! never lands inside the window, and the effect vanishes.
+//!
+//! This module substitutes *controlled* preemption (DESIGN.md P1): each
+//! algorithm calls [`preempt_point`] at its structurally dangerous moment
+//! (combining: between joining the request list and finishing the combine;
+//! locks: just after acquisition; LCRQ/MS: after their F&A/protect, for
+//! symmetric treatment), and the benchmark harness arms a per-call yield
+//! probability. Nonblocking algorithms shrug off an injected yield — no
+//! other thread depends on the preempted one — which is exactly the
+//! property the figure measures.
+//!
+//! Disabled (probability zero) by default; overhead is one relaxed load.
+
+use core::sync::atomic::{AtomicU32, Ordering};
+use std::cell::Cell;
+
+static PREEMPT_PPM: AtomicU32 = AtomicU32::new(0);
+
+/// Arms the adversary: at every [`preempt_point`], yield the CPU with
+/// probability `ppm` per million. Zero disables (the default).
+pub fn set_preempt_ppm(ppm: u32) {
+    PREEMPT_PPM.store(ppm.min(1_000_000), Ordering::Relaxed);
+}
+
+/// Current injection probability in parts-per-million.
+pub fn preempt_ppm() -> u32 {
+    PREEMPT_PPM.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    static RNG: Cell<u64> = const { Cell::new(0x853C_49E6_748F_EA9B) };
+}
+
+/// A possible preemption: yields to the OS scheduler with the armed
+/// probability. Algorithms place this at the point where a real preemption
+/// would be most damaging.
+#[inline]
+pub fn preempt_point() {
+    let ppm = PREEMPT_PPM.load(Ordering::Relaxed);
+    if ppm == 0 {
+        return;
+    }
+    let roll = RNG.with(|state| {
+        let mut x = state.get() ^ (state.get() << 13);
+        x ^= x >> 7;
+        x ^= x << 17;
+        state.set(x);
+        ((x as u128 * 1_000_000) >> 64) as u32
+    });
+    if roll < ppm {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_cheap() {
+        assert_eq!(preempt_ppm(), 0);
+        for _ in 0..10_000 {
+            preempt_point(); // must be a near-noop
+        }
+    }
+
+    #[test]
+    fn arming_and_clamping() {
+        set_preempt_ppm(2_000_000);
+        assert_eq!(preempt_ppm(), 1_000_000);
+        set_preempt_ppm(500);
+        assert_eq!(preempt_ppm(), 500);
+        for _ in 0..1_000 {
+            preempt_point(); // exercises the probabilistic path
+        }
+        set_preempt_ppm(0);
+        assert_eq!(preempt_ppm(), 0);
+    }
+}

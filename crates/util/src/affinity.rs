@@ -1,0 +1,179 @@
+//! Thread-to-CPU pinning.
+//!
+//! The paper pins each benchmark thread to a specific hardware thread "to
+//! avoid interference from the operating system scheduler" (§5). We implement
+//! `sched_setaffinity`/`sched_getaffinity` directly as raw Linux syscalls
+//! (numbers 203/204 on x86-64) to stay dependency-free. On a host with a
+//! single CPU — like the reproduction machine — pinning degenerates to a
+//! no-op and the scheduler multiplexes, which the harness reports.
+
+/// Maximum CPUs representable in our fixed cpu-set (1024, the kernel default).
+const CPUSET_WORDS: usize = 16;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    use super::CPUSET_WORDS;
+    use core::arch::asm;
+
+    #[inline]
+    unsafe fn syscall3(nr: i64, a: i64, b: i64, c: i64) -> i64 {
+        let ret: i64;
+        asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub fn sched_setaffinity(mask: &[u64; CPUSET_WORDS]) -> i64 {
+        // pid 0 = calling thread.
+        unsafe {
+            syscall3(
+                203,
+                0,
+                core::mem::size_of_val(mask) as i64,
+                mask.as_ptr() as i64,
+            )
+        }
+    }
+
+    pub fn sched_getaffinity(mask: &mut [u64; CPUSET_WORDS]) -> i64 {
+        unsafe {
+            syscall3(
+                204,
+                0,
+                core::mem::size_of_val(mask) as i64,
+                mask.as_mut_ptr() as i64,
+            )
+        }
+    }
+}
+
+/// Error returned when pinning fails or is unsupported on this platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffinityError(pub String);
+
+impl core::fmt::Display for AffinityError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "affinity error: {}", self.0)
+    }
+}
+
+impl std::error::Error for AffinityError {}
+
+/// Pins the calling thread to CPU `cpu`.
+///
+/// Returns an error if `cpu` is out of range, not in the process's allowed
+/// set, or the platform is unsupported.
+pub fn pin_to_cpu(cpu: usize) -> Result<(), AffinityError> {
+    if cpu >= CPUSET_WORDS * 64 {
+        return Err(AffinityError(format!("cpu {cpu} out of range")));
+    }
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        let mut mask = [0u64; CPUSET_WORDS];
+        mask[cpu / 64] = 1 << (cpu % 64);
+        let ret = sys::sched_setaffinity(&mask);
+        if ret < 0 {
+            return Err(AffinityError(format!(
+                "sched_setaffinity(cpu={cpu}) failed with errno {}",
+                -ret
+            )));
+        }
+        Ok(())
+    }
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    {
+        Err(AffinityError("pinning unsupported on this platform".into()))
+    }
+}
+
+/// Returns the CPUs the calling thread may run on, or an empty vec if the
+/// query is unsupported.
+pub fn allowed_cpus() -> Vec<usize> {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        let mut mask = [0u64; CPUSET_WORDS];
+        let ret = sys::sched_getaffinity(&mut mask);
+        if ret < 0 {
+            return Vec::new();
+        }
+        let mut cpus = Vec::new();
+        for (w, &bits) in mask.iter().enumerate() {
+            for b in 0..64 {
+                if bits & (1 << b) != 0 {
+                    cpus.push(w * 64 + b);
+                }
+            }
+        }
+        cpus
+    }
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    {
+        Vec::new()
+    }
+}
+
+/// Pins the calling thread to `slot` round-robin over the allowed CPUs, the
+/// paper's Figure-7 placement policy ("pin the threads across the processors
+/// in a round-robin manner"). No-op (returning `Ok`) when only one CPU is
+/// available, since every placement is then identical.
+pub fn pin_round_robin(slot: usize) -> Result<(), AffinityError> {
+    let cpus = allowed_cpus();
+    match cpus.len() {
+        0 => Err(AffinityError("cannot query allowed cpus".into())),
+        1 => Ok(()),
+        n => pin_to_cpu(cpus[slot % n]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowed_cpus_contains_current_host_cpus() {
+        let cpus = allowed_cpus();
+        // On Linux x86-64 this must be non-empty.
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert!(!cpus.is_empty());
+        let _ = cpus;
+    }
+
+    #[test]
+    fn pin_to_first_allowed_cpu_succeeds() {
+        let cpus = allowed_cpus();
+        if let Some(&first) = cpus.first() {
+            pin_to_cpu(first).expect("pinning to an allowed cpu");
+            // Re-query: should now be exactly that cpu.
+            assert_eq!(allowed_cpus(), vec![first]);
+            // Restore the full mask for other tests in this process.
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            {
+                let mut mask = [0u64; CPUSET_WORDS];
+                for &c in &cpus {
+                    mask[c / 64] |= 1 << (c % 64);
+                }
+                assert!(super::sys::sched_setaffinity(&mask) >= 0);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_cpu_is_rejected() {
+        assert!(pin_to_cpu(CPUSET_WORDS * 64).is_err());
+    }
+
+    #[test]
+    fn round_robin_is_ok_on_any_host() {
+        for slot in 0..4 {
+            let _ = pin_round_robin(slot); // must not panic
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Software event counters substituting for hardware performance counters.
+//!
+//! Tables 2 and 3 of the paper report per-operation instruction counts, atomic
+//! operation counts, and cache-miss counts from hardware performance counters.
+//! We reproduce the *atomic operation* and *CAS failure* columns exactly by
+//! counting events in software, and add algorithm-level events (ring-node
+//! visits, empty/unsafe transitions, CRQ closings, combiner batch sizes) that
+//! explain the same wasted-work story the cache-miss columns tell.
+//!
+//! Counting uses plain thread-local `Cell`s (no atomics, no locks on the hot
+//! path). Each worker thread calls [`flush`] when it finishes; the harness
+//! then reads an aggregate [`snapshot`].
+
+use std::cell::Cell;
+use std::sync::Mutex;
+
+/// Countable event kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+#[allow(missing_docs)]
+pub enum Event {
+    /// Hardware fetch-and-add executed (LOCK XADD).
+    Faa,
+    /// Atomic swap executed (XCHG).
+    Swap,
+    /// Test-and-set executed (LOCK BTS).
+    Tas,
+    /// Single-word CAS attempted.
+    CasAttempt,
+    /// Single-word CAS that failed.
+    CasFailure,
+    /// Double-width CAS attempted (LOCK CMPXCHG16B).
+    Cas2Attempt,
+    /// Double-width CAS that failed.
+    Cas2Failure,
+    /// A CRQ operation inspected a ring node (>=1 per op; retries add more).
+    NodeVisit,
+    /// A dequeuer performed an empty transition.
+    EmptyTransition,
+    /// A dequeuer performed an unsafe transition.
+    UnsafeTransition,
+    /// A CRQ was closed.
+    CrqClosed,
+    /// A new CRQ was allocated and appended.
+    CrqAlloc,
+    /// Completed enqueue operations.
+    EnqOp,
+    /// Completed dequeue operations (returning an item).
+    DeqOp,
+    /// Dequeue operations that returned empty.
+    DeqEmpty,
+    /// A combiner acquired the combining role.
+    CombinerRound,
+    /// Operations applied by combiners on behalf of other threads (incl. own).
+    OpsCombined,
+    /// Bounded-wait spins performed by dequeuers waiting for enqueuers.
+    SpinWait,
+    /// Hazard-pointer reclamation scans.
+    HazardScan,
+}
+
+const NUM_EVENTS: usize = Event::HazardScan as usize + 1;
+
+const EVENT_NAMES: [&str; NUM_EVENTS] = [
+    "faa",
+    "swap",
+    "tas",
+    "cas_attempt",
+    "cas_failure",
+    "cas2_attempt",
+    "cas2_failure",
+    "node_visit",
+    "empty_transition",
+    "unsafe_transition",
+    "crq_closed",
+    "crq_alloc",
+    "enq_op",
+    "deq_op",
+    "deq_empty",
+    "combiner_round",
+    "ops_combined",
+    "spin_wait",
+    "hazard_scan",
+];
+
+thread_local! {
+    static LOCAL: [Cell<u64>; NUM_EVENTS] = [const { Cell::new(0) }; NUM_EVENTS];
+}
+
+static GLOBAL: Mutex<[u64; NUM_EVENTS]> = Mutex::new([0; NUM_EVENTS]);
+
+/// Increments `event` by one in the calling thread's local counters.
+#[inline]
+pub fn inc(event: Event) {
+    add(event, 1);
+}
+
+/// Increments `event` by `n` in the calling thread's local counters.
+#[inline]
+pub fn add(event: Event, n: u64) {
+    LOCAL.with(|l| {
+        let c = &l[event as usize];
+        c.set(c.get().wrapping_add(n));
+    });
+}
+
+/// Adds the calling thread's local counters into the global aggregate and
+/// zeroes the local counters. Call once per worker thread at the end of a
+/// measured region.
+pub fn flush() {
+    LOCAL.with(|l| {
+        let mut g = GLOBAL.lock().unwrap();
+        for (cell, slot) in l.iter().zip(g.iter_mut()) {
+            *slot = slot.wrapping_add(cell.get());
+            cell.set(0);
+        }
+    });
+}
+
+/// Zeroes the global aggregate **and** the calling thread's local counters.
+/// (Other threads' unflushed locals are untouched; reset before spawning.)
+pub fn reset() {
+    LOCAL.with(|l| {
+        for cell in l.iter() {
+            cell.set(0);
+        }
+    });
+    *GLOBAL.lock().unwrap() = [0; NUM_EVENTS];
+}
+
+/// An aggregate view of all flushed counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    counts: [u64; NUM_EVENTS],
+}
+
+/// Returns the current global aggregate (flushed counters only).
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        counts: *GLOBAL.lock().unwrap(),
+    }
+}
+
+impl Snapshot {
+    /// Count for a single event kind.
+    pub fn get(&self, event: Event) -> u64 {
+        self.counts[event as usize]
+    }
+
+    /// Total atomic read-modify-write instructions executed: F&A + SWAP +
+    /// T&S + CAS attempts + CAS2 attempts. This is the "atomic operations"
+    /// row of Tables 2 and 3 (paper counts attempts, successful or not).
+    pub fn atomic_ops(&self) -> u64 {
+        self.get(Event::Faa)
+            + self.get(Event::Swap)
+            + self.get(Event::Tas)
+            + self.get(Event::CasAttempt)
+            + self.get(Event::Cas2Attempt)
+    }
+
+    /// Completed queue operations (enqueues + dequeues incl. empty returns).
+    pub fn total_ops(&self) -> u64 {
+        self.get(Event::EnqOp) + self.get(Event::DeqOp) + self.get(Event::DeqEmpty)
+    }
+
+    /// Atomic instructions per completed operation (the headline Table 2/3
+    /// metric), or 0.0 when no operations completed.
+    pub fn atomic_ops_per_op(&self) -> f64 {
+        let ops = self.total_ops();
+        if ops == 0 {
+            0.0
+        } else {
+            self.atomic_ops() as f64 / ops as f64
+        }
+    }
+
+    /// Fraction of single-word CAS attempts that failed.
+    pub fn cas_failure_rate(&self) -> f64 {
+        let att = self.get(Event::CasAttempt);
+        if att == 0 {
+            0.0
+        } else {
+            self.get(Event::CasFailure) as f64 / att as f64
+        }
+    }
+
+    /// Fraction of CAS2 attempts that failed.
+    pub fn cas2_failure_rate(&self) -> f64 {
+        let att = self.get(Event::Cas2Attempt);
+        if att == 0 {
+            0.0
+        } else {
+            self.get(Event::Cas2Failure) as f64 / att as f64
+        }
+    }
+
+    /// Difference `self - other`, saturating at zero per event; lets a harness
+    /// bracket a measured region with two snapshots.
+    pub fn delta_since(&self, other: &Snapshot) -> Snapshot {
+        let mut counts = [0u64; NUM_EVENTS];
+        for i in 0..NUM_EVENTS {
+            counts[i] = self.counts[i].saturating_sub(other.counts[i]);
+        }
+        Snapshot { counts }
+    }
+
+    /// Iterates `(name, count)` for all non-zero events.
+    pub fn nonzero(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (EVENT_NAMES[i], c))
+    }
+}
+
+impl core::fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for (name, count) in self.nonzero() {
+            writeln!(f, "{name:>18}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    // The global aggregate is process-wide; serialize tests that use it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    fn guard() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn inc_flush_snapshot_round_trip() {
+        let _g = guard();
+        reset();
+        inc(Event::Faa);
+        add(Event::CasAttempt, 5);
+        add(Event::CasFailure, 2);
+        // Not yet visible before flush.
+        assert_eq!(snapshot().get(Event::Faa), 0);
+        flush();
+        let s = snapshot();
+        assert_eq!(s.get(Event::Faa), 1);
+        assert_eq!(s.get(Event::CasAttempt), 5);
+        assert_eq!(s.cas_failure_rate(), 0.4);
+    }
+
+    #[test]
+    fn multi_thread_flush_aggregates() {
+        let _g = guard();
+        reset();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..1000 {
+                        inc(Event::Cas2Attempt);
+                    }
+                    add(Event::EnqOp, 10);
+                    flush();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = snapshot();
+        assert_eq!(s.get(Event::Cas2Attempt), 4000);
+        assert_eq!(s.get(Event::EnqOp), 40);
+    }
+
+    #[test]
+    fn atomic_ops_sums_all_rmw_kinds() {
+        let _g = guard();
+        reset();
+        inc(Event::Faa);
+        inc(Event::Swap);
+        inc(Event::Tas);
+        add(Event::CasAttempt, 2);
+        add(Event::Cas2Attempt, 3);
+        add(Event::EnqOp, 2);
+        flush();
+        let s = snapshot();
+        assert_eq!(s.atomic_ops(), 8);
+        assert_eq!(s.total_ops(), 2);
+        assert_eq!(s.atomic_ops_per_op(), 4.0);
+    }
+
+    #[test]
+    fn delta_since_brackets_a_region() {
+        let _g = guard();
+        reset();
+        inc(Event::DeqOp);
+        flush();
+        let before = snapshot();
+        add(Event::DeqOp, 9);
+        flush();
+        let after = snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.get(Event::DeqOp), 9);
+    }
+
+    #[test]
+    fn display_lists_nonzero_only() {
+        let _g = guard();
+        reset();
+        inc(Event::CrqClosed);
+        flush();
+        let text = snapshot().to_string();
+        assert!(text.contains("crq_closed"));
+        assert!(!text.contains("hazard_scan"));
+    }
+
+    #[test]
+    fn empty_snapshot_rates_are_zero() {
+        let s = Snapshot::default();
+        assert_eq!(s.atomic_ops_per_op(), 0.0);
+        assert_eq!(s.cas_failure_rate(), 0.0);
+        assert_eq!(s.cas2_failure_rate(), 0.0);
+    }
+}

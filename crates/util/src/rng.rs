@@ -1,0 +1,149 @@
+//! Small fast pseudo-random number generators for workload generation.
+//!
+//! The paper's methodology inserts a random pause of up to 100 ns between
+//! queue operations to avoid artificial "long run" scenarios (§5). That RNG
+//! sits on the measurement path, so it must be branch-light and allocation
+//! free; `xorshift64*` fits in three shifts and one multiply.
+
+/// A `xorshift64*` generator (Vigna, 2016): 64 bits of state, period 2^64-1.
+///
+/// Not cryptographically secure; used only for workload jitter and test-input
+/// shuffling.
+///
+/// ```
+/// use lcrq_util::XorShift64Star;
+/// let mut rng = XorShift64Star::new(42);
+/// let a = rng.next_u64();
+/// let b = rng.next_u64();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Creates a generator from `seed`. A zero seed is remapped to a fixed
+    /// non-zero constant (xorshift state must never be zero).
+    pub const fn new(seed: u64) -> Self {
+        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        Self { state }
+    }
+
+    /// Creates a generator seeded from the current time and a thread-unique
+    /// counter, so concurrently spawned threads get distinct streams.
+    pub fn from_entropy() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static CTR: AtomicU64 = AtomicU64::new(0x1234_5678);
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0xDEAD_BEEF);
+        let c = CTR.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        Self::new(t ^ c.rotate_left(32))
+    }
+
+    /// Returns the next 64-bit pseudo-random value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Returns a value uniformly distributed in `[0, bound)` using the
+    /// widening-multiply trick (Lemire, 2019). `bound` must be non-zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns `true` with probability `num / den`.
+    #[inline]
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_below(den) < num
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut a = XorShift64Star::new(0);
+        // Would loop forever on zero state; just check it produces values.
+        assert_ne!(a.next_u64(), a.next_u64());
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = XorShift64Star::new(7);
+        let mut b = XorShift64Star::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = XorShift64Star::new(7);
+        let mut b = XorShift64Star::new(8);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = XorShift64Star::new(123);
+        for bound in [1u64, 2, 3, 17, 100, u64::MAX] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_small_range_roughly_uniformly() {
+        let mut rng = XorShift64Star::new(99);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[rng.next_below(4) as usize] += 1;
+        }
+        for &c in &counts {
+            // Each bucket should get ~10_000; allow generous slack.
+            assert!((8_000..12_000).contains(&c), "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = XorShift64Star::new(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    fn from_entropy_streams_differ() {
+        let mut a = XorShift64Star::from_entropy();
+        let mut b = XorShift64Star::from_entropy();
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+}

@@ -1,0 +1,150 @@
+//! Concurrent history recording.
+
+use lcrq_queues::ConcurrentQueue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// What an operation did, including its observed result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoryOp {
+    /// `enqueue(value)` completed normally.
+    Enq(u64),
+    /// `enqueue(value)` returned CLOSED (tantrum queues only).
+    EnqClosed(u64),
+    /// `dequeue()` returned `value`.
+    DeqOk(u64),
+    /// `dequeue()` returned empty.
+    DeqEmpty,
+}
+
+/// One completed operation with its timing interval.
+///
+/// `invoked` and `returned` are drawn from a single global atomic counter,
+/// so for any two records `a`, `b`: `a.returned < b.invoked` means `a`
+/// really-happened-before `b` and every linearization must respect it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Id of the thread that performed the operation.
+    pub thread: usize,
+    /// Operation and result.
+    pub op: HistoryOp,
+    /// Clock value drawn immediately before invoking the operation.
+    pub invoked: u64,
+    /// Clock value drawn immediately after the operation returned.
+    pub returned: u64,
+}
+
+/// A recorded history, sorted by invocation time.
+#[derive(Debug, Clone, Default)]
+pub struct Recording {
+    /// All completed operations.
+    pub ops: Vec<OpRecord>,
+}
+
+/// Marker describing the kind of operation a workload step performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completed {
+    /// Enqueue the given value.
+    Enq(u64),
+    /// Attempt a dequeue.
+    Deq,
+}
+
+/// Runs a concurrent workload against `queue` and records the history.
+///
+/// `scripts[t]` is the operation sequence thread `t` executes. All threads
+/// start together on a barrier to maximize overlap. Returns the merged
+/// history sorted by invocation time.
+pub fn record<Q: ConcurrentQueue>(queue: &Q, scripts: &[Vec<Completed>]) -> Recording {
+    let clock = AtomicU64::new(0);
+    let log: Mutex<Vec<OpRecord>> = Mutex::new(Vec::new());
+    let barrier = Barrier::new(scripts.len());
+    let (clock, log, barrier) = (&clock, &log, &barrier);
+    std::thread::scope(|s| {
+        for (t, script) in scripts.iter().enumerate() {
+            s.spawn(move || {
+                let mut local = Vec::with_capacity(script.len());
+                barrier.wait();
+                for step in script {
+                    let invoked = clock.fetch_add(1, Ordering::SeqCst);
+                    let op = match *step {
+                        Completed::Enq(v) => {
+                            queue.enqueue(v);
+                            HistoryOp::Enq(v)
+                        }
+                        Completed::Deq => match queue.dequeue() {
+                            Some(v) => HistoryOp::DeqOk(v),
+                            None => HistoryOp::DeqEmpty,
+                        },
+                    };
+                    let returned = clock.fetch_add(1, Ordering::SeqCst);
+                    local.push(OpRecord {
+                        thread: t,
+                        op,
+                        invoked,
+                        returned,
+                    });
+                }
+                log.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut ops = std::mem::take(&mut *log.lock().unwrap());
+    ops.sort_by_key(|r| r.invoked);
+    Recording { ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    struct LockQueue(Mutex<VecDeque<u64>>);
+    impl ConcurrentQueue for LockQueue {
+        fn enqueue(&self, v: u64) {
+            self.0.lock().unwrap().push_back(v);
+        }
+        fn dequeue(&self) -> Option<u64> {
+            self.0.lock().unwrap().pop_front()
+        }
+        fn name(&self) -> &'static str {
+            "lock"
+        }
+        fn is_nonblocking(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn records_every_operation_with_ordered_intervals() {
+        let q = LockQueue(Mutex::new(VecDeque::new()));
+        let scripts = vec![
+            vec![Completed::Enq(1), Completed::Deq],
+            vec![Completed::Enq(2), Completed::Deq, Completed::Deq],
+        ];
+        let rec = record(&q, &scripts);
+        assert_eq!(rec.ops.len(), 5);
+        for r in &rec.ops {
+            assert!(r.invoked < r.returned, "interval must be well-formed");
+        }
+        // Clock values are globally unique.
+        let mut stamps: Vec<u64> = rec
+            .ops
+            .iter()
+            .flat_map(|r| [r.invoked, r.returned])
+            .collect();
+        stamps.sort_unstable();
+        stamps.dedup();
+        assert_eq!(stamps.len(), 10);
+    }
+
+    #[test]
+    fn sequential_script_produces_disjoint_intervals() {
+        let q = LockQueue(Mutex::new(VecDeque::new()));
+        let rec = record(&q, &[vec![Completed::Enq(1), Completed::Enq(2), Completed::Deq]]);
+        for w in rec.ops.windows(2) {
+            assert!(w[0].returned < w[1].invoked);
+        }
+        assert_eq!(rec.ops[2].op, HistoryOp::DeqOk(1));
+    }
+}

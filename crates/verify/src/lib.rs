@@ -1,0 +1,28 @@
+//! Linearizability verification for concurrent queue histories.
+//!
+//! The paper proves CRQ is a linearizable *tantrum queue* (§4.1.2) and LCRQ
+//! a linearizable FIFO queue (§4.2). This crate provides the machinery to
+//! *test* those claims on real executions:
+//!
+//! * [`record`] — runs a concurrent workload against any
+//!   [`ConcurrentQueue`], recording each operation's invocation/response
+//!   interval on a global atomic clock;
+//! * [`check_fifo`] — a Wing & Gong style exhaustive search (with
+//!   memoization) deciding whether a recorded history has a linearization
+//!   satisfying the sequential FIFO queue specification;
+//! * [`check_tantrum`] — the same for the tantrum-queue specification
+//!   (enqueues may return CLOSED; after the first CLOSED-returning enqueue
+//!   is linearized, every later enqueue must also return CLOSED).
+//!
+//! Exhaustive checking is exponential, so it is applied to many *small*
+//! histories (a few threads, a few operations each) rather than one big
+//! run; large runs are covered by the cheaper per-producer order check in
+//! `lcrq_queues::testing`.
+
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod history;
+
+pub use checker::{check_fifo, check_tantrum, CheckError};
+pub use history::{record, Completed, HistoryOp, OpRecord, Recording};

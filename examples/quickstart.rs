@@ -1,0 +1,117 @@
+//! Quickstart: a tour of the LCRQ public API.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lcrq::core::infinite::InfiniteArrayQueue;
+use lcrq::{Crq, HierarchicalConfig, Lcrq, LcrqCas, LcrqConfig, TypedLcrq};
+use std::sync::Arc;
+
+fn main() {
+    // ── 1. The basic u64 queue ──────────────────────────────────────────
+    // LCRQ transfers word-sized payloads (ints or pointers, as in the
+    // paper). Values must be below u64::MAX, which is the reserved ⊥.
+    let q = Lcrq::new();
+    q.enqueue(10);
+    q.enqueue(20);
+    assert_eq!(q.dequeue(), Some(10));
+    assert_eq!(q.dequeue(), Some(20));
+    assert_eq!(q.dequeue(), None); // linearizable EMPTY
+    println!("1. raw u64 queue: FIFO order and EMPTY work");
+
+    // ── 2. Share it across threads ──────────────────────────────────────
+    // Lcrq is Sync: share with Arc (or scoped-thread references). Here four
+    // producers and two consumers move 40_000 items with no locks.
+    let q = Arc::new(Lcrq::new());
+    let mut handles = Vec::new();
+    for p in 0..4u64 {
+        let q = Arc::clone(&q);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..10_000u64 {
+                q.enqueue(p * 1_000_000 + i);
+            }
+        }));
+    }
+    let consumed = {
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    loop {
+                        match q.dequeue() {
+                            Some(_) => n += 1,
+                            // Producers may still be running; in a real app
+                            // you would block or back off here.
+                            None => {
+                                if n > 0 && q.is_empty_hint() {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    n
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        consumers
+            .into_iter()
+            .map(|c| c.join().unwrap())
+            .sum::<u64>()
+    };
+    // Drain any tail items the consumers' heuristic exit left behind.
+    let mut rest = 0;
+    while q.dequeue().is_some() {
+        rest += 1;
+    }
+    assert_eq!(consumed + rest, 40_000);
+    println!("2. MPMC: 4 producers / 2 consumers moved 40k items");
+
+    // ── 3. Typed values ride the same fast path (boxed) ────────────────
+    let tq: TypedLcrq<String> = TypedLcrq::new();
+    tq.enqueue("hello".into());
+    tq.enqueue("world".into());
+    println!(
+        "3. typed queue: {} {}",
+        tq.dequeue().unwrap(),
+        tq.dequeue().unwrap()
+    );
+
+    // ── 4. Configuration: ring size, starvation limit, LCRQ+H ──────────
+    let cfg = LcrqConfig::paper() // the paper's R = 2^17
+        .with_hierarchical(HierarchicalConfig::default()); // LCRQ+H, 100 µs
+    let _big = Lcrq::with_config(cfg);
+    let tiny = Lcrq::with_config(LcrqConfig::new().with_ring_order(3));
+    for i in 0..1_000 {
+        tiny.enqueue(i); // R = 8: spills through many linked CRQs
+    }
+    for i in 0..1_000 {
+        assert_eq!(tiny.dequeue(), Some(i)); // still strictly FIFO
+    }
+    println!("4. config: R=2^17 paper setup + R=8 ring spilling both work");
+
+    // ── 5. LCRQ-CAS: same algorithm, CAS-loop F&A ───────────────────────
+    // Exists to quantify why hardware F&A matters; same API.
+    let qc = LcrqCas::new();
+    qc.enqueue(1);
+    assert_eq!(qc.dequeue(), Some(1));
+    println!("5. LCRQ-CAS variant behaves identically (just slower under load)");
+
+    // ── 6. The building blocks are public too ──────────────────────────
+    // A bare CRQ is a *tantrum queue*: bounded, and it may close.
+    let ring: Crq = Crq::new(&LcrqConfig::new().with_ring_order(3));
+    let mut accepted = 0u64;
+    while ring.enqueue(accepted).is_ok() {
+        accepted += 1;
+    }
+    println!("6. bare CRQ (R=8) accepted {accepted} items, then closed (tantrum semantics)");
+
+    // The paper's idealized Figure-2 queue, for study:
+    let inf: InfiniteArrayQueue = InfiniteArrayQueue::new();
+    inf.enqueue(7);
+    assert_eq!(inf.dequeue(), Some(7));
+    println!("7. infinite-array queue (Figure 2) works too — study only");
+}

@@ -1,0 +1,172 @@
+//! A three-stage parallel pipeline built on typed LCRQs.
+//!
+//! The paper motivates fast MPMC queues as the backbone of producer/consumer
+//! architectures; this example wires one up: `parse → enrich → aggregate`,
+//! each stage a pool of workers connected by a `TypedLcrq`. Because LCRQ is
+//! nonblocking, a slow (or preempted) worker in one stage never wedges the
+//! others — they keep draining whatever is queued.
+//!
+//! Run with: `cargo run --release --example task_pipeline`
+
+use lcrq::TypedLcrq;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct RawEvent {
+    id: u64,
+    payload: String,
+}
+
+#[derive(Debug)]
+struct Parsed {
+    id: u64,
+    value: u64,
+}
+
+#[derive(Debug)]
+struct Enriched {
+    id: u64,
+    bucket: &'static str,
+}
+
+const EVENTS: u64 = 50_000;
+
+/// Receives the next item, or `None` once `upstream_active` is false *and*
+/// the queue is confirmed drained. The confirming dequeue happens after the
+/// flag read, so its `None` linearizes after every upstream enqueue — no
+/// item can be stranded by the shutdown race.
+fn recv<T: Send>(q: &TypedLcrq<T>, upstream_active: &AtomicBool) -> Option<T> {
+    loop {
+        if let Some(x) = q.dequeue() {
+            return Some(x);
+        }
+        if upstream_active.load(Ordering::Acquire) {
+            std::thread::yield_now();
+            continue;
+        }
+        return q.dequeue();
+    }
+}
+
+fn main() {
+    let stage1: Arc<TypedLcrq<RawEvent>> = Arc::new(TypedLcrq::new());
+    let stage2: Arc<TypedLcrq<Parsed>> = Arc::new(TypedLcrq::new());
+    let stage3: Arc<TypedLcrq<Enriched>> = Arc::new(TypedLcrq::new());
+    let producing = Arc::new(AtomicBool::new(true));
+    let parsing = Arc::new(AtomicBool::new(true));
+    let enriching = Arc::new(AtomicBool::new(true));
+
+    let start = std::time::Instant::now();
+
+    // Stage 0: two producers synthesize raw events.
+    let producers: Vec<_> = (0..2u64)
+        .map(|p| {
+            let q = Arc::clone(&stage1);
+            std::thread::spawn(move || {
+                for i in 0..EVENTS / 2 {
+                    let id = p * (EVENTS / 2) + i;
+                    q.enqueue(RawEvent {
+                        id,
+                        payload: format!("value={}", id * 3),
+                    });
+                }
+            })
+        })
+        .collect();
+
+    // Stage 1: three parsers extract the numeric value.
+    let parsers: Vec<_> = (0..3)
+        .map(|_| {
+            let inq = Arc::clone(&stage1);
+            let outq = Arc::clone(&stage2);
+            let upstream = Arc::clone(&producing);
+            std::thread::spawn(move || loop {
+                match recv(&inq, &upstream) {
+                    Some(ev) => {
+                        let value = ev
+                            .payload
+                            .strip_prefix("value=")
+                            .and_then(|v| v.parse().ok())
+                            .expect("well-formed payload");
+                        outq.enqueue(Parsed { id: ev.id, value });
+                    }
+
+                    None => break,
+                }
+            })
+        })
+        .collect();
+
+    // Stage 2: two enrichers classify values into buckets.
+    let enrichers: Vec<_> = (0..2)
+        .map(|_| {
+            let inq = Arc::clone(&stage2);
+            let outq = Arc::clone(&stage3);
+            let upstream = Arc::clone(&parsing);
+            std::thread::spawn(move || loop {
+                match recv(&inq, &upstream) {
+                    Some(p) => outq.enqueue(Enriched {
+                        id: p.id,
+                        bucket: if p.value % 2 == 0 { "even" } else { "odd" },
+                    }),
+
+                    None => break,
+                }
+            })
+        })
+        .collect();
+
+    // Stage 3: one aggregator tallies buckets and checksums ids.
+    let aggregator = {
+        let inq = Arc::clone(&stage3);
+        let upstream = Arc::clone(&enriching);
+        std::thread::spawn(move || {
+            let (mut even, mut odd, mut id_sum, mut count) = (0u64, 0u64, 0u64, 0u64);
+            loop {
+                match recv(&inq, &upstream) {
+                    Some(e) => {
+                        if e.bucket == "even" {
+                            even += 1;
+                        } else {
+                            odd += 1;
+                        }
+                        id_sum = id_sum.wrapping_add(e.id);
+                        count += 1;
+                    }
+
+                    None => break,
+                }
+            }
+            (even, odd, id_sum, count)
+        })
+    };
+
+    // Orderly shutdown: each stage closes when its upstream is done AND its
+    // input is drained (the `None if !upstream` arm re-checks after).
+    for h in producers {
+        h.join().unwrap();
+    }
+    producing.store(false, Ordering::Release);
+    for h in parsers {
+        h.join().unwrap();
+    }
+    parsing.store(false, Ordering::Release);
+    for h in enrichers {
+        h.join().unwrap();
+    }
+    enriching.store(false, Ordering::Release);
+    let (even, odd, id_sum, count) = aggregator.join().unwrap();
+
+    let expected_sum = EVENTS * (EVENTS - 1) / 2;
+    assert_eq!(count, EVENTS, "every event must traverse the pipeline once");
+    assert_eq!(id_sum, expected_sum, "id checksum must match");
+    assert_eq!(even + odd, EVENTS);
+    let wall = start.elapsed();
+    println!("pipeline processed {count} events in {wall:?}");
+    println!("  even-valued: {even}, odd-valued: {odd}");
+    println!(
+        "  end-to-end throughput: {:.2} Mevents/s",
+        count as f64 / wall.as_secs_f64() / 1e6
+    );
+}

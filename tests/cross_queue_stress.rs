@@ -1,0 +1,77 @@
+//! Cross-algorithm stress and model checks: the same battery for every
+//! queue in the registry, so a regression in any algorithm (or in shared
+//! substrates like hazard pointers and the combining constructions) fails
+//! loudly here.
+
+use lcrq::queues::testing;
+use lcrq_bench::{make_queue, QueueKind, ALL_KINDS};
+
+#[test]
+fn model_check_every_kind_against_vecdeque() {
+    for &k in ALL_KINDS {
+        let q = make_queue(k, 10, 2);
+        testing::model_check(&q, 0xBEEF ^ k.name().len() as u64);
+    }
+}
+
+#[test]
+fn mpmc_stress_every_kind() {
+    for &k in ALL_KINDS {
+        let q = make_queue(k, 12, 2);
+        testing::mpmc_stress(&q, 3, 3, 3_000);
+    }
+}
+
+#[test]
+fn mpmc_stress_lcrq_variants_with_tiny_rings() {
+    // Ring switching under contention is LCRQ's trickiest path.
+    for kind in [QueueKind::Lcrq, QueueKind::LcrqCas, QueueKind::LcrqH] {
+        let q = make_queue(kind, 3, 2); // R = 8
+        testing::mpmc_stress(&q, 3, 3, 3_000);
+    }
+}
+
+#[test]
+fn pairs_workload_every_kind_drains() {
+    for &k in ALL_KINDS {
+        let q = make_queue(k, 8, 2);
+        testing::pairs_smoke(&q, 4, 1_500);
+    }
+}
+
+#[test]
+fn single_producer_single_consumer_order_every_kind() {
+    for &k in ALL_KINDS {
+        let q = make_queue(k, 8, 2);
+        testing::mpmc_stress(&q, 1, 1, 10_000);
+    }
+}
+
+#[test]
+fn burst_then_drain_every_kind() {
+    // Large burst (beyond one CRQ ring) followed by a full drain in order.
+    for &k in ALL_KINDS {
+        let q = make_queue(k, 6, 2); // R = 64 for the LCRQ variants
+        for i in 0..10_000u64 {
+            q.enqueue(i);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(q.dequeue(), Some(i), "{}", k.name());
+        }
+        assert_eq!(q.dequeue(), None, "{}", k.name());
+    }
+}
+
+#[test]
+fn alternating_empty_nonempty_every_kind() {
+    // Hammers the EMPTY path (empty transitions + fixState for CRQ-based
+    // queues) interleaved with successful operations.
+    for &k in ALL_KINDS {
+        let q = make_queue(k, 6, 2);
+        for round in 0..500u64 {
+            assert_eq!(q.dequeue(), None, "{}", k.name());
+            q.enqueue(round);
+            assert_eq!(q.dequeue(), Some(round), "{}", k.name());
+        }
+    }
+}

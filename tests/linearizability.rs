@@ -1,0 +1,164 @@
+//! Linearizability checking of real concurrent executions, for every queue
+//! algorithm in the repository.
+//!
+//! Strategy: record many *small* histories (3 threads × 4 operations) under
+//! genuine concurrency and run the Wing–Gong checker on each. Small
+//! histories keep exhaustive checking fast while still catching ordering,
+//! duplication, loss, and premature-EMPTY bugs — each seed produces a
+//! different interleaving pressure via randomized op mixes.
+
+use lcrq_bench::{make_queue, QueueKind, ALL_KINDS};
+use lcrq_verify::{check_fifo, check_tantrum, record, Completed, HistoryOp, Recording};
+
+/// Builds randomized scripts: `threads` threads, each with `ops` operations,
+/// roughly half enqueues (values unique per thread) and half dequeues.
+fn scripts(seed: u64, threads: usize, ops: usize) -> Vec<Vec<Completed>> {
+    let mut rng = lcrq::util::XorShift64Star::new(seed);
+    (0..threads)
+        .map(|t| {
+            (0..ops)
+                .map(|i| {
+                    if rng.chance(55, 100) {
+                        Completed::Enq(((t as u64) << 32) | i as u64)
+                    } else {
+                        Completed::Deq
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn check_kind(kind: QueueKind, rounds: u64) {
+    for seed in 0..rounds {
+        let q = make_queue(kind, 4, 2); // tiny rings: exercise CRQ switching
+        let rec = record(&q, &scripts(seed * 7 + 1, 3, 4));
+        if let Err(e) = check_fifo(&rec) {
+            panic!(
+                "{}: seed {seed} produced a non-linearizable history: {e}\n{:#?}",
+                kind.name(),
+                rec.ops
+            );
+        }
+    }
+}
+
+#[test]
+fn lcrq_histories_are_linearizable() {
+    check_kind(QueueKind::Lcrq, 40);
+}
+
+#[test]
+fn lcrq_cas_histories_are_linearizable() {
+    check_kind(QueueKind::LcrqCas, 40);
+}
+
+#[test]
+fn lcrq_h_histories_are_linearizable() {
+    check_kind(QueueKind::LcrqH, 25);
+}
+
+#[test]
+fn ms_queue_histories_are_linearizable() {
+    check_kind(QueueKind::Ms, 40);
+}
+
+#[test]
+fn two_lock_histories_are_linearizable() {
+    check_kind(QueueKind::TwoLock, 25);
+}
+
+#[test]
+fn cc_queue_histories_are_linearizable() {
+    check_kind(QueueKind::Cc, 25);
+}
+
+#[test]
+fn h_queue_histories_are_linearizable() {
+    check_kind(QueueKind::H, 25);
+}
+
+#[test]
+fn fc_queue_histories_are_linearizable() {
+    check_kind(QueueKind::Fc, 25);
+}
+
+#[test]
+fn infinite_array_histories_are_linearizable() {
+    check_kind(QueueKind::Infinite, 25);
+}
+
+#[test]
+fn sim_queue_histories_are_linearizable() {
+    check_kind(QueueKind::Sim, 25);
+}
+
+#[test]
+fn optimistic_queue_histories_are_linearizable() {
+    check_kind(QueueKind::Optimistic, 40);
+}
+
+#[test]
+fn baskets_queue_histories_are_linearizable() {
+    check_kind(QueueKind::Baskets, 40);
+}
+
+#[test]
+fn every_kind_is_covered_by_a_linearizability_test() {
+    // Guard against new registry kinds silently skipping verification.
+    assert_eq!(ALL_KINDS.len(), 12);
+}
+
+/// The bare CRQ is a *tantrum* queue: enqueues may return CLOSED. Record
+/// histories on a tiny ring (closes are common) and check against the
+/// tantrum specification.
+#[test]
+fn crq_histories_satisfy_the_tantrum_specification() {
+    use lcrq::{Crq, LcrqConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Barrier, Mutex};
+
+    for seed in 0..30u64 {
+        let crq: Crq = Crq::new(&LcrqConfig::new().with_ring_order(2)); // R = 4
+        let scripts = scripts(seed + 1000, 3, 4);
+        let clock = AtomicU64::new(0);
+        let log: Mutex<Vec<lcrq_verify::OpRecord>> = Mutex::new(Vec::new());
+        let barrier = Barrier::new(scripts.len());
+        let (crq, clock, log, barrier) = (&crq, &clock, &log, &barrier);
+        std::thread::scope(|s| {
+            for (t, script) in scripts.iter().enumerate() {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    barrier.wait();
+                    for step in script {
+                        let invoked = clock.fetch_add(1, Ordering::SeqCst);
+                        let op = match *step {
+                            Completed::Enq(v) => match crq.enqueue(v) {
+                                Ok(()) => HistoryOp::Enq(v),
+                                Err(_) => HistoryOp::EnqClosed(v),
+                            },
+                            Completed::Deq => match crq.dequeue() {
+                                Some(v) => HistoryOp::DeqOk(v),
+                                None => HistoryOp::DeqEmpty,
+                            },
+                        };
+                        let returned = clock.fetch_add(1, Ordering::SeqCst);
+                        local.push(lcrq_verify::OpRecord {
+                            thread: t,
+                            op,
+                            invoked,
+                            returned,
+                        });
+                    }
+                    log.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut ops = std::mem::take(&mut *log.lock().unwrap());
+        ops.sort_by_key(|r| r.invoked);
+        let rec = Recording { ops };
+        if let Err(e) = check_tantrum(&rec) {
+            panic!("CRQ seed {seed}: tantrum check failed: {e}\n{:#?}", rec.ops);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Progress-property tests: op-wise nonblocking behaviour (paper §4.2.1)
+//! and robustness to adversarial scheduling.
+
+use lcrq::util::adversary;
+use lcrq::{ConcurrentQueue, Lcrq, LcrqConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Enqueues complete while dequeuers continuously hammer an empty queue —
+/// the infinite-array queue's livelock scenario, which LCRQ's close-and-
+/// move-on design resolves (§4).
+#[test]
+fn enqueues_are_not_livelocked_by_empty_dequeuers() {
+    let q = Lcrq::with_config(LcrqConfig::new().with_ring_order(4));
+    let stop = AtomicBool::new(false);
+    let (q, stop) = (&q, &stop);
+    let enqueued = std::thread::scope(|s| {
+        for _ in 0..3 {
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = q.dequeue();
+                }
+            });
+        }
+        let deadline = Instant::now() + Duration::from_millis(500);
+        let mut n = 0u64;
+        while Instant::now() < deadline {
+            q.enqueue(n);
+            n += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        n
+    });
+    assert!(
+        enqueued > 1_000,
+        "enqueuer should make steady progress, got {enqueued}"
+    );
+}
+
+/// Dequeues complete while enqueuers continuously push — dequeuers must
+/// never be starved into returning only EMPTY.
+#[test]
+fn dequeues_make_progress_under_enqueue_pressure() {
+    let q = Lcrq::with_config(LcrqConfig::new().with_ring_order(4));
+    let stop = AtomicBool::new(false);
+    let (q, stop) = (&q, &stop);
+    let got = std::thread::scope(|s| {
+        for t in 0..2u64 {
+            s.spawn(move || {
+                let mut i = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    q.enqueue(t << 40 | i);
+                    i += 1;
+                }
+            });
+        }
+        let deadline = Instant::now() + Duration::from_millis(500);
+        let mut got = 0u64;
+        while Instant::now() < deadline {
+            if q.dequeue().is_some() {
+                got += 1;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        got
+    });
+    assert!(got > 1_000, "dequeuer should make steady progress, got {got}");
+}
+
+/// Under heavy injected preemption, the nonblocking queues must still
+/// complete a fixed workload promptly (nobody waits on a preempted thread).
+#[test]
+fn lcrq_completes_under_adversarial_preemption() {
+    adversary::set_preempt_ppm(5_000);
+    let q = Lcrq::with_config(LcrqConfig::new().with_ring_order(5));
+    let total = AtomicU64::new(0);
+    let (q, total) = (&q, &total);
+    std::thread::scope(|s| {
+        for t in 0..6u64 {
+            s.spawn(move || {
+                for i in 0..2_000u64 {
+                    q.enqueue(t << 40 | i);
+                    if q.dequeue().is_some() {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    adversary::set_preempt_ppm(0);
+    // Drain the imbalance.
+    let mut leftover = 0;
+    while q.dequeue().is_some() {
+        leftover += 1;
+    }
+    assert_eq!(total.load(Ordering::Relaxed) + leftover, 12_000);
+}
+
+/// A CRQ whose enqueuers starve closes rather than spinning forever: with a
+/// ring of 2 and many threads, the LCRQ must keep absorbing items by
+/// appending fresh rings (bounded only by memory), never deadlocking.
+#[test]
+fn tiny_rings_never_wedge_the_queue() {
+    let q = Lcrq::with_config(LcrqConfig::new().with_ring_order(1).with_starvation_limit(4));
+    let q = &q;
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            s.spawn(move || {
+                for i in 0..2_500u64 {
+                    q.enqueue(t << 40 | i);
+                }
+            });
+        }
+        s.spawn(move || {
+            // Every item must eventually come out (a hang here fails the
+            // test run); R=2 with starvation limit 4 forces constant ring
+            // replacement, the path most prone to wedging.
+            let mut got = 0u64;
+            while got < 10_000 {
+                if q.dequeue().is_some() {
+                    got += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+    });
+    assert_eq!(q.dequeue(), None);
+}
+
+/// The lock-based combining queues *do* lose progress when their combiner
+/// is preempted — the contrast the paper's Figure 6b quantifies. This test
+/// only asserts they still *complete* (blocking, not deadlocking).
+#[test]
+fn combining_queues_complete_under_adversarial_preemption() {
+    adversary::set_preempt_ppm(2_000);
+    let q = lcrq::CcQueue::new();
+    let q = &q;
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            s.spawn(move || {
+                for i in 0..500u64 {
+                    q.enqueue(t << 40 | i);
+                    let _ = q.dequeue();
+                }
+            });
+        }
+    });
+    adversary::set_preempt_ppm(0);
+    while q.dequeue().is_some() {}
+}

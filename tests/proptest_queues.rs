@@ -1,0 +1,150 @@
+//! Property-based tests (proptest): arbitrary operation sequences against a
+//! `VecDeque` model for every queue, arbitrary configurations for LCRQ, and
+//! round-trip properties of the node bit packing.
+
+use lcrq::{ConcurrentQueue, Lcrq, LcrqCas, LcrqConfig};
+use lcrq_bench::{make_queue, QueueKind};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// One step of a sequential workload.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Enq(u64),
+    Deq,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(Step::Enq),
+        Just(Step::Deq),
+    ]
+}
+
+fn run_against_model<Q: ConcurrentQueue>(q: &Q, steps: &[Step]) {
+    let mut model: VecDeque<u64> = VecDeque::new();
+    for (i, step) in steps.iter().enumerate() {
+        match *step {
+            Step::Enq(v) => {
+                q.enqueue(v);
+                model.push_back(v);
+            }
+            Step::Deq => {
+                assert_eq!(q.dequeue(), model.pop_front(), "diverged at step {i}");
+            }
+        }
+    }
+    while let Some(v) = model.pop_front() {
+        assert_eq!(q.dequeue(), Some(v));
+    }
+    assert_eq!(q.dequeue(), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lcrq_matches_model(steps in prop::collection::vec(step_strategy(), 0..400)) {
+        run_against_model(&Lcrq::new(), &steps);
+    }
+
+    #[test]
+    fn lcrq_tiny_ring_matches_model(
+        steps in prop::collection::vec(step_strategy(), 0..400),
+        order in 1u32..6,
+    ) {
+        let q = Lcrq::with_config(LcrqConfig::new().with_ring_order(order));
+        run_against_model(&q, &steps);
+    }
+
+    #[test]
+    fn lcrq_cas_matches_model(steps in prop::collection::vec(step_strategy(), 0..300)) {
+        run_against_model(&LcrqCas::new(), &steps);
+    }
+
+    #[test]
+    fn arbitrary_config_still_fifo(
+        order in 1u32..8,
+        starvation in 1u32..64,
+        wait in 0u32..64,
+        steps in prop::collection::vec(step_strategy(), 0..200),
+    ) {
+        let q = Lcrq::with_config(
+            LcrqConfig::new()
+                .with_ring_order(order)
+                .with_starvation_limit(starvation)
+                .with_bounded_wait(wait),
+        );
+        run_against_model(&q, &steps);
+    }
+
+    #[test]
+    fn baseline_queues_match_model(
+        steps in prop::collection::vec(step_strategy(), 0..200),
+        kind_idx in 0usize..7,
+    ) {
+        let kind = [
+            QueueKind::Ms,
+            QueueKind::TwoLock,
+            QueueKind::Cc,
+            QueueKind::Fc,
+            QueueKind::Sim,
+            QueueKind::Optimistic,
+            QueueKind::Baskets,
+        ][kind_idx];
+        let q = make_queue(kind, 6, 1);
+        run_against_model(&q, &steps);
+    }
+
+    #[test]
+    fn node_packing_round_trips(safe in any::<bool>(), idx in 0u64..(1 << 63)) {
+        use lcrq::core::node::{pack, unpack};
+        prop_assert_eq!(unpack(pack(safe, idx)), (safe, idx));
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_samples(
+        samples in prop::collection::vec(0u64..1_000_000_000, 1..500),
+    ) {
+        let mut h = lcrq::util::LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let max = *samples.iter().max().unwrap();
+        let min = *samples.iter().min().unwrap();
+        prop_assert_eq!(h.max(), max);
+        prop_assert_eq!(h.min(), min);
+        prop_assert!(h.percentile(100.0) == max);
+        prop_assert!(h.percentile(0.0) >= min.saturating_sub(min / 16));
+        // Monotone percentiles.
+        let mut last = 0;
+        for p in [1.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            prop_assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn crq_tantrum_prefix_property(
+        n_items in 1u64..200,
+        order in 1u32..5,
+    ) {
+        // Enqueue until CLOSED: the accepted prefix must come back out in
+        // order, exactly once, followed by EMPTY forever.
+        use lcrq::{Crq, CrqClosed};
+        let q: Crq = Crq::new(&LcrqConfig::new().with_ring_order(order));
+        let mut accepted = 0;
+        for i in 0..n_items {
+            match q.enqueue(i) {
+                Ok(()) => accepted += 1,
+                Err(CrqClosed) => break,
+            }
+        }
+        for i in 0..accepted {
+            prop_assert_eq!(q.dequeue(), Some(i));
+        }
+        prop_assert_eq!(q.dequeue(), None);
+        prop_assert_eq!(q.dequeue(), None);
+    }
+}
