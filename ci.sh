@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repository CI gate. Run from the repo root.
+#
+# Tier-1 (must always pass; see ROADMAP.md):
+#   cargo build --release && cargo test -q
+# plus lint and formatting gates. Everything runs offline — the workspace
+# has no registry dependencies (DESIGN.md "Offline build").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "CI OK"

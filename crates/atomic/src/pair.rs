@@ -388,8 +388,7 @@ mod tests {
                                 Ok(()) => (0, 0),
                                 Err(c) => c,
                             };
-                            if super::fallback::cmpxchg16b(p.0, cur, (cur.0 + 1, cur.1 + 1))
-                                .is_ok()
+                            if super::fallback::cmpxchg16b(p.0, cur, (cur.0 + 1, cur.1 + 1)).is_ok()
                             {
                                 break;
                             }

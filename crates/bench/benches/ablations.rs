@@ -1,5 +1,4 @@
-//! Ablations of LCRQ's design choices (DESIGN.md §5) plus an ecosystem
-//! reference point:
+//! Ablations of LCRQ's design choices (DESIGN.md §5):
 //!
 //! * bounded-wait optimization on/off (§4.1.1) — off forces extra empty
 //!   transitions when a dequeuer races its matching enqueuer;
@@ -7,9 +6,12 @@
 //!   huge limits defer closing (more wasted attempts under adversity);
 //! * hierarchical timeout — the LCRQ+H cluster gate;
 //! * the bare CRQ vs the full LCRQ (cost of hazard pointers + list);
-//! * `crossbeam::queue::SegQueue` as a modern-ecosystem baseline.
+//! * scalar vs batched operations (one F&A per k-item reservation).
+//!
+//! (The former `crossbeam::queue::SegQueue` ecosystem reference was dropped
+//! when the workspace went dependency-free for offline builds.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcrq_bench::microbench::Runner;
 use lcrq_bench::{run_workload, RunConfig};
 use lcrq_core::{Crq, HierarchicalConfig, Lcrq, LcrqConfig};
 use lcrq_queues::ConcurrentQueue;
@@ -25,72 +27,67 @@ fn cfg_for(pairs: u64) -> RunConfig {
     cfg
 }
 
-fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group(name);
-    g.sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300));
-    g.throughput(Throughput::Elements(2 * THREADS as u64));
-    g
-}
-
-fn bench_bounded_wait(c: &mut Criterion) {
-    let mut g = group(c, "ablation_bounded_wait");
+fn bench_bounded_wait(runner: &Runner) {
     for &spins in &[0u32, 32, 128, 512] {
-        g.bench_with_input(BenchmarkId::new("spins", spins), &spins, |b, &s| {
-            b.iter_custom(|iters| {
-                let q = Lcrq::with_config(LcrqConfig::new().with_bounded_wait(s));
+        runner.bench(
+            "ablation_bounded_wait",
+            &format!("spins/{spins}"),
+            2 * THREADS as u64,
+            |iters| {
+                let q = Lcrq::with_config(LcrqConfig::new().with_bounded_wait(spins));
                 run_workload(&q, &cfg_for(iters.max(1))).wall
-            });
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_starvation_limit(c: &mut Criterion) {
-    let mut g = group(c, "ablation_starvation_limit");
+fn bench_starvation_limit(runner: &Runner) {
     for &limit in &[2u32, 16, 128, 1024] {
-        g.bench_with_input(BenchmarkId::new("limit", limit), &limit, |b, &l| {
-            b.iter_custom(|iters| {
+        runner.bench(
+            "ablation_starvation_limit",
+            &format!("limit/{limit}"),
+            2 * THREADS as u64,
+            |iters| {
                 // Small ring so closes actually happen.
                 let q = Lcrq::with_config(
-                    LcrqConfig::new().with_ring_order(4).with_starvation_limit(l),
+                    LcrqConfig::new()
+                        .with_ring_order(4)
+                        .with_starvation_limit(limit),
                 );
                 run_workload(&q, &cfg_for(iters.max(1))).wall
-            });
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_hierarchical_timeout(c: &mut Criterion) {
-    let mut g = group(c, "ablation_hier_timeout");
+fn bench_hierarchical_timeout(runner: &Runner) {
     for &us in &[0u64, 10, 100, 1000] {
-        g.bench_with_input(BenchmarkId::new("timeout_us", us), &us, |b, &us| {
-            b.iter_custom(|iters| {
-                let q = Lcrq::with_config(LcrqConfig::new().with_hierarchical(
-                    HierarchicalConfig {
+        runner.bench(
+            "ablation_hier_timeout",
+            &format!("timeout_us/{us}"),
+            2 * THREADS as u64,
+            |iters| {
+                let q =
+                    Lcrq::with_config(LcrqConfig::new().with_hierarchical(HierarchicalConfig {
                         timeout: Duration::from_micros(us),
-                    },
-                ));
+                    }));
                 let mut cfg = cfg_for(iters.max(1));
                 cfg.clusters = 4;
                 run_workload(&q, &cfg).wall
-            });
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_crq_vs_lcrq(c: &mut Criterion) {
-    let mut g = group(c, "ablation_crq_vs_lcrq");
-    g.bench_function("bare_crq", |b| {
-        b.iter_custom(|iters| {
+fn bench_crq_vs_lcrq(runner: &Runner) {
+    runner.bench(
+        "ablation_crq_vs_lcrq",
+        "bare_crq",
+        2 * THREADS as u64,
+        |iters| {
             // A bare CRQ sized to never close: measures the ring protocol
             // alone, without hazard pointers or list management.
-            let q = Crq::<lcrq_atomic::HardwareFaa>::new(
-                &LcrqConfig::new().with_ring_order(16),
-            );
+            let q = Crq::<lcrq_atomic::HardwareFaa>::new(&LcrqConfig::new().with_ring_order(16));
             struct CrqAsQueue<'a>(&'a Crq);
             impl ConcurrentQueue for CrqAsQueue<'_> {
                 fn enqueue(&self, v: u64) {
@@ -107,55 +104,40 @@ fn bench_crq_vs_lcrq(c: &mut Criterion) {
                 }
             }
             run_workload(&CrqAsQueue(&q), &cfg_for(iters.max(1))).wall
-        });
-    });
-    g.bench_function("full_lcrq", |b| {
-        b.iter_custom(|iters| {
+        },
+    );
+    runner.bench(
+        "ablation_crq_vs_lcrq",
+        "full_lcrq",
+        2 * THREADS as u64,
+        |iters| {
             let q = Lcrq::with_config(LcrqConfig::new().with_ring_order(16));
             run_workload(&q, &cfg_for(iters.max(1))).wall
-        });
-    });
-    g.finish();
+        },
+    );
 }
 
-fn bench_crossbeam_reference(c: &mut Criterion) {
-    let mut g = group(c, "reference_crossbeam");
-    struct CbQueue(crossbeam::queue::SegQueue<u64>);
-    impl ConcurrentQueue for CbQueue {
-        fn enqueue(&self, v: u64) {
-            self.0.push(v);
-        }
-        fn dequeue(&self) -> Option<u64> {
-            self.0.pop()
-        }
-        fn name(&self) -> &'static str {
-            "crossbeam-segqueue"
-        }
-        fn is_nonblocking(&self) -> bool {
-            true
-        }
+fn bench_batch(runner: &Runner) {
+    for &batch in &[1usize, 4, 16, 64] {
+        runner.bench(
+            "ablation_batch",
+            &format!("batch/{batch}"),
+            2 * THREADS as u64,
+            |iters| {
+                let q = Lcrq::new();
+                let mut cfg = cfg_for(iters.max(1));
+                cfg.batch = batch;
+                run_workload(&q, &cfg).wall
+            },
+        );
     }
-    g.bench_function("crossbeam_segqueue", |b| {
-        b.iter_custom(|iters| {
-            let q = CbQueue(crossbeam::queue::SegQueue::new());
-            run_workload(&q, &cfg_for(iters.max(1))).wall
-        });
-    });
-    g.bench_function("lcrq", |b| {
-        b.iter_custom(|iters| {
-            let q = Lcrq::new();
-            run_workload(&q, &cfg_for(iters.max(1))).wall
-        });
-    });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_bounded_wait,
-    bench_starvation_limit,
-    bench_hierarchical_timeout,
-    bench_crq_vs_lcrq,
-    bench_crossbeam_reference
-);
-criterion_main!(benches);
+fn main() {
+    let runner = Runner::new();
+    bench_bounded_wait(&runner);
+    bench_starvation_limit(&runner);
+    bench_hierarchical_timeout(&runner);
+    bench_crq_vs_lcrq(&runner);
+    bench_batch(&runner);
+}

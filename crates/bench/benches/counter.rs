@@ -1,9 +1,9 @@
-//! Criterion version of Figure 1: contended counter increments, hardware
+//! Microbench version of Figure 1: contended counter increments, hardware
 //! F&A vs CAS loop. The CAS loop's cost should grow with thread count while
 //! F&A stays near-flat (modulo this host's core count).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lcrq_atomic::{CasLoopFaa, FaaPolicy, HardwareFaa};
+use lcrq_bench::microbench::Runner;
 use std::sync::atomic::AtomicU64;
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
@@ -28,19 +28,20 @@ fn contended_increments<P: FaaPolicy>(threads: usize, per_thread: u64) -> Durati
     timer.elapsed()
 }
 
-fn bench_counter(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig1_counter");
-    g.sample_size(10).measurement_time(Duration::from_secs(1));
+fn main() {
+    let runner = Runner::new();
     for &threads in &[1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("faa", threads), &threads, |b, &t| {
-            b.iter_custom(|iters| contended_increments::<HardwareFaa>(t, iters.max(1)));
-        });
-        g.bench_with_input(BenchmarkId::new("cas-loop", threads), &threads, |b, &t| {
-            b.iter_custom(|iters| contended_increments::<CasLoopFaa>(t, iters.max(1)));
-        });
+        runner.bench(
+            "fig1_counter",
+            &format!("faa/{threads}"),
+            threads as u64,
+            |iters| contended_increments::<HardwareFaa>(threads, iters.max(1)),
+        );
+        runner.bench(
+            "fig1_counter",
+            &format!("cas-loop/{threads}"),
+            threads as u64,
+            |iters| contended_increments::<CasLoopFaa>(threads, iters.max(1)),
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_counter);
-criterion_main!(benches);

@@ -1,32 +1,26 @@
-//! Criterion version of Figure 9: LCRQ pair throughput vs ring size.
+//! Microbench version of Figure 9: LCRQ pair throughput vs ring size.
 //! Tiny rings close constantly (each close allocates and links a fresh
 //! CRQ); throughput should rise with R and saturate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcrq_bench::microbench::Runner;
 use lcrq_bench::{make_queue, run_workload, QueueKind, RunConfig};
-use std::time::Duration;
 
-fn bench_ring_size(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::new();
     let threads = 4usize;
-    let mut g = c.benchmark_group("fig9_ring_size");
-    g.sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300));
-    g.throughput(Throughput::Elements(2 * threads as u64));
     for &order in &[3u32, 6, 9, 12, 15, 17] {
-        g.bench_with_input(BenchmarkId::new("lcrq", order), &order, |b, &o| {
-            b.iter_custom(|iters| {
-                let q = make_queue(QueueKind::Lcrq, o, 1);
+        runner.bench(
+            "fig9_ring_size",
+            &format!("lcrq/2^{order}"),
+            2 * threads as u64,
+            |iters| {
+                let q = make_queue(QueueKind::Lcrq, order, 1);
                 let mut cfg = RunConfig::new(threads);
                 cfg.pairs = iters.max(1);
                 cfg.max_delay_ns = 0;
                 cfg.pin = false;
                 run_workload(&q, &cfg).wall
-            });
-        });
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_ring_size);
-criterion_main!(benches);

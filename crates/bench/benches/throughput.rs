@@ -1,12 +1,12 @@
-//! Criterion version of Figures 6/7: enqueue/dequeue-pair throughput per
+//! Microbench version of Figures 6/7: enqueue/dequeue-pair throughput per
 //! queue algorithm at several thread counts (pure queue cost: no inter-op
 //! jitter).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcrq_bench::microbench::Runner;
 use lcrq_bench::{make_queue, run_workload, QueueKind, RunConfig};
-use std::time::Duration;
 
-fn bench_throughput(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::new();
     let kinds = [
         QueueKind::Lcrq,
         QueueKind::LcrqCas,
@@ -19,27 +19,16 @@ fn bench_throughput(c: &mut Criterion) {
         QueueKind::Baskets,
     ];
     for &threads in &[1usize, 4] {
-        let mut g = c.benchmark_group(format!("pairs_{threads}thread"));
-        g.sample_size(10)
-            .measurement_time(Duration::from_secs(2))
-            .warm_up_time(Duration::from_millis(300));
-        // Each criterion "element" is one enqueue/dequeue pair per thread.
-        g.throughput(Throughput::Elements(2 * threads as u64));
+        let group = format!("pairs_{threads}thread");
         for &k in &kinds {
-            g.bench_with_input(BenchmarkId::new(k.name(), threads), &threads, |b, &t| {
-                b.iter_custom(|iters| {
-                    let q = make_queue(k, 12, 1);
-                    let mut cfg = RunConfig::new(t);
-                    cfg.pairs = iters.max(1);
-                    cfg.max_delay_ns = 0;
-                    cfg.pin = false;
-                    run_workload(&q, &cfg).wall
-                });
+            runner.bench(&group, k.name(), 2 * threads as u64, |iters| {
+                let q = make_queue(k, 12, 1);
+                let mut cfg = RunConfig::new(threads);
+                cfg.pairs = iters.max(1);
+                cfg.max_delay_ns = 0;
+                cfg.pin = false;
+                run_workload(&q, &cfg).wall
             });
         }
-        g.finish();
     }
 }
-
-criterion_group!(benches, bench_throughput);
-criterion_main!(benches);

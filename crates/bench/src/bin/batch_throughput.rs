@@ -1,0 +1,75 @@
+//! Batched-operation throughput: the pairs workload moved k items per
+//! `enqueue_batch`/`dequeue_batch` call (extension beyond the paper).
+//!
+//! LCRQ's batch paths reserve k consecutive ring indices with a single
+//! fetch-and-add, so the F&A-per-operation column should fall toward 1/k
+//! for the LCRQ variants while the per-item CAS2 count stays flat. Queues
+//! without a native bulk path (everything except LCRQ/LCRQ-CAS/LCRQ+H) run
+//! the default scalar loop and serve as the control: their F&A/op column
+//! does not move with k.
+//!
+//! Usage: `batch_throughput [--threads 4] [--pairs 20000]
+//!         [--batches 1,4,16,64] [--ring-order 12]
+//!         [--queues lcrq,lcrq-cas,ms]`
+
+use lcrq_bench::cli::Cli;
+use lcrq_bench::{make_queue, run_workload, QueueKind, RunConfig};
+
+fn main() {
+    let cli = Cli::from_env();
+    let threads: usize = cli.get("threads", 4usize);
+    let pairs: u64 = cli.get("pairs", 20_000u64);
+    let ring_order: u32 = cli.get("ring-order", 12u32);
+    let batches = cli.get_list("batches", &[1usize, 4, 16, 64]);
+    if let Some(&bad) = batches.iter().find(|&&b| b == 0) {
+        eprintln!("error: --batches values must be >= 1 (got {bad})");
+        std::process::exit(2);
+    }
+    let kinds: Vec<QueueKind> = match cli.get_str("queues") {
+        Some(s) => s
+            .split(',')
+            .map(|name| match QueueKind::parse(name) {
+                Some(k) => k,
+                None => {
+                    eprintln!("error: unknown queue '{name}' in --queues");
+                    std::process::exit(2);
+                }
+            })
+            .collect(),
+        None => vec![QueueKind::Lcrq, QueueKind::LcrqCas, QueueKind::Ms],
+    };
+
+    println!("# Batched pairs workload — {threads} threads, {pairs} pairs/thread, ring R = 2^{ring_order}");
+    println!(
+        "| queue | batch k | Mops/s | F&A/op | atomic ops/op | mean enq batch | mean deq batch |"
+    );
+    println!(
+        "|-------|---------|--------|--------|---------------|----------------|----------------|"
+    );
+    for &k in &kinds {
+        for &batch in &batches {
+            let mut cfg = RunConfig::new(threads).with_batch(batch);
+            cfg.pairs = pairs;
+            let q = make_queue(k, ring_order, 1);
+            let r = run_workload(&q, &cfg);
+            let c = &r.counters;
+            let fmt_mean = |v: f64| {
+                if v > 0.0 {
+                    format!("{v:.1}")
+                } else {
+                    "-".to_string()
+                }
+            };
+            println!(
+                "| {} | {batch} | {:.3} | {:.3} | {:.2} | {} | {} |",
+                k.name(),
+                r.mops,
+                c.faa_per_op(),
+                c.atomic_ops_per_op(),
+                fmt_mean(c.mean_enqueue_batch()),
+                fmt_mean(c.mean_dequeue_batch()),
+            );
+        }
+        println!("|-------|---------|--------|--------|---------------|----------------|----------------|");
+    }
+}

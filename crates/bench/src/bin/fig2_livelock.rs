@@ -28,7 +28,12 @@ struct Outcome {
     rings_closed: u64,
 }
 
-fn hammer<Q: ConcurrentQueue>(queue: &Q, dequeuers: usize, enqueues: u64, attempt_event: Event) -> Outcome {
+fn hammer<Q: ConcurrentQueue>(
+    queue: &Q,
+    dequeuers: usize,
+    enqueues: u64,
+    attempt_event: Event,
+) -> Outcome {
     metrics::flush();
     let before = metrics::snapshot();
     let stop = AtomicBool::new(false);
@@ -76,17 +81,27 @@ fn main() {
     let inf: InfiniteArrayQueue = InfiniteArrayQueue::new();
     let o = hammer(&inf, dequeuers, enqueues, Event::Faa);
     println!("infinite-array queue (enqueuer-thread events only):");
-    println!("  tail F&As per completed enqueue: {:.3}", o.attempts_per_enqueue);
+    println!(
+        "  tail F&As per completed enqueue: {:.3}",
+        o.attempts_per_enqueue
+    );
     println!("  (>1.0 means dequeuers poisoned the cells this enqueuer was");
     println!("   assigned; there is no bound — this is the §4 livelock)");
     println!();
 
     // LCRQ: ring-node visits per enqueue, and how often the starving-escape
     // (ring close) fired.
-    let q = Lcrq::with_config(LcrqConfig::new().with_ring_order(8).with_starvation_limit(64));
+    let q = Lcrq::with_config(
+        LcrqConfig::new()
+            .with_ring_order(8)
+            .with_starvation_limit(64),
+    );
     let o = hammer(&q, dequeuers, enqueues, Event::NodeVisit);
     println!("lcrq, starvation limit 64 (enqueuer-thread events only):");
-    println!("  ring-node visits per enqueue: {:.3}", o.attempts_per_enqueue);
+    println!(
+        "  ring-node visits per enqueue: {:.3}",
+        o.attempts_per_enqueue
+    );
     println!(
         "  rings closed (starving-enqueuer escape hatch): {}",
         o.rings_closed

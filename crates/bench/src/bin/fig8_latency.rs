@@ -25,12 +25,7 @@ fn main() {
     lcrq_util::adversary::set_preempt_ppm(cli.get("preempt-ppm", 0u32));
     let kinds: Vec<QueueKind> = match cli.get_str("queues") {
         Some(s) => s.split(',').filter_map(QueueKind::parse).collect(),
-        None => vec![
-            QueueKind::Lcrq,
-            QueueKind::Cc,
-            QueueKind::Fc,
-            QueueKind::Ms,
-        ],
+        None => vec![QueueKind::Lcrq, QueueKind::Cc, QueueKind::Fc, QueueKind::Ms],
     };
 
     println!("# Figure 8: operation latency CDF at {threads} threads");
@@ -75,7 +70,9 @@ fn main() {
         print!("---|");
     }
     println!();
-    for bound_ns in [100u64, 240, 500, 1_000, 2_000, 5_000, 10_000, 100_000, 1_000_000] {
+    for bound_ns in [
+        100u64, 240, 500, 1_000, 2_000, 5_000, 10_000, 100_000, 1_000_000,
+    ] {
         print!("| {bound_ns} ns |");
         for h in &hists {
             print!(" {:.1}% |", 100.0 * h.fraction_at_or_below(bound_ns));

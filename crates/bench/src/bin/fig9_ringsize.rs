@@ -31,7 +31,11 @@ fn main() {
     println!("# pairs/thread = {pairs}, runs = {runs} (median), clusters = {clusters}");
 
     // Reference line: CC-Queue (or H-Queue in clustered mode) is R-independent.
-    let ref_kind = if hierarchical { QueueKind::H } else { QueueKind::Cc };
+    let ref_kind = if hierarchical {
+        QueueKind::H
+    } else {
+        QueueKind::Cc
+    };
     let mut cfg = RunConfig::new(threads);
     cfg.pairs = pairs;
     cfg.clusters = clusters;
@@ -43,14 +47,21 @@ fn main() {
         .collect();
     ref_runs.sort_by(f64::total_cmp);
     let reference = ref_runs[runs / 2];
-    println!("# reference {} throughput: {reference:.3} Mops/s", ref_kind.name());
+    println!(
+        "# reference {} throughput: {reference:.3} Mops/s",
+        ref_kind.name()
+    );
 
     let kind = if hierarchical {
         QueueKind::LcrqH
     } else {
         QueueKind::Lcrq
     };
-    println!("| ring order | R | {} Mops/s | vs {} |", kind.name(), ref_kind.name());
+    println!(
+        "| ring order | R | {} Mops/s | vs {} |",
+        kind.name(),
+        ref_kind.name()
+    );
     println!("|-----------|---|-----------|-------|");
     for &order in &orders {
         let mut all: Vec<f64> = (0..runs)

@@ -36,18 +36,35 @@ fn main() {
     println!("## Functional self-test (instructions as used by the library)");
     let a = AtomicU64::new(5);
     let prev = HardwareFaa::fetch_add(&a, 3); // LOCK XADD
-    println!("- F&A   (LOCK XADD):        5 + 3 -> prev {prev}, now {}", a.load(Ordering::SeqCst));
+    println!(
+        "- F&A   (LOCK XADD):        5 + 3 -> prev {prev}, now {}",
+        a.load(Ordering::SeqCst)
+    );
     let prev = CasLoopFaa::fetch_add(&a, 2); // CAS loop emulation
-    println!("- F&A   (CAS-loop emul.):   8 + 2 -> prev {prev}, now {}", a.load(Ordering::SeqCst));
+    println!(
+        "- F&A   (CAS-loop emul.):   8 + 2 -> prev {prev}, now {}",
+        a.load(Ordering::SeqCst)
+    );
     let prev = ops::swap(&a, 1); // XCHG
     println!("- SWAP  (XCHG):             store 1 -> prev {prev}");
     let was = ops::tas_bit(&a, 63); // LOCK BTS
-    println!("- T&S   (LOCK BTS bit 63):  was-set {was}, now {:#x}", a.load(Ordering::SeqCst));
+    println!(
+        "- T&S   (LOCK BTS bit 63):  was-set {was}, now {:#x}",
+        a.load(Ordering::SeqCst)
+    );
     let r = ops::cas(&a, 1 | (1 << 63), 7); // LOCK CMPXCHG
-    println!("- CAS   (LOCK CMPXCHG):     {:?}, now {}", r.is_ok(), a.load(Ordering::SeqCst));
+    println!(
+        "- CAS   (LOCK CMPXCHG):     {:?}, now {}",
+        r.is_ok(),
+        a.load(Ordering::SeqCst)
+    );
     let p = AtomicPair::new(1, 2);
     let r = p.compare_exchange((1, 2), (3, 4)); // LOCK CMPXCHG16B
-    println!("- CAS2  (LOCK CMPXCHG16B):  {:?}, now {:?}", r.is_ok(), p.load());
+    println!(
+        "- CAS2  (LOCK CMPXCHG16B):  {:?}, now {:?}",
+        r.is_ok(),
+        p.load()
+    );
     println!();
     println!("All primitives functional.");
 }

@@ -15,11 +15,11 @@ impl Cli {
     /// becomes a flag; a `--key` followed by another `--…` (or nothing) is a
     /// boolean switch.
     pub fn from_env() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_args(std::env::args().skip(1))
     }
 
     /// Parses an explicit argument list (for tests).
-    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+    pub fn parse_args(args: impl IntoIterator<Item = String>) -> Self {
         let mut cli = Cli::default();
         let args: Vec<String> = args.into_iter().collect();
         let mut i = 0;
@@ -77,7 +77,7 @@ mod tests {
     use super::*;
 
     fn cli(args: &[&str]) -> Cli {
-        Cli::from_iter(args.iter().map(|s| s.to_string()))
+        Cli::parse_args(args.iter().map(|s| s.to_string()))
     }
 
     #[test]

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod microbench;
 pub mod registry;
 pub mod workload;
 

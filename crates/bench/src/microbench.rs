@@ -1,0 +1,100 @@
+//! Minimal self-contained timing harness for the `benches/` targets.
+//!
+//! The workspace must build with no registry access (DESIGN.md "Offline
+//! build"), so the `cargo bench` targets cannot depend on criterion. This
+//! module reproduces the part we used: auto-calibrated iteration counts and
+//! median-of-samples reporting for closures that time themselves (the
+//! equivalent of criterion's `iter_custom`).
+
+use std::time::Duration;
+
+/// An auto-calibrating benchmark runner. Each measurement closure receives
+/// an iteration count and returns the wall time those iterations took.
+pub struct Runner {
+    samples: usize,
+    target: Duration,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runner {
+    /// Default: 5 samples per benchmark, ~200 ms of work per sample.
+    /// `LCRQ_BENCH_QUICK=1` drops to 2 samples of ~20 ms for smoke runs.
+    pub fn new() -> Self {
+        if std::env::var_os("LCRQ_BENCH_QUICK").is_some() {
+            Self {
+                samples: 2,
+                target: Duration::from_millis(20),
+            }
+        } else {
+            Self {
+                samples: 5,
+                target: Duration::from_millis(200),
+            }
+        }
+    }
+
+    /// Measures `f` and prints one result line.
+    ///
+    /// `elements` is the number of logical operations one iteration
+    /// performs (e.g. `2 * threads` for an enqueue/dequeue-pair workload);
+    /// the report is in nanoseconds per element and million elements per
+    /// second, matching what criterion's `Throughput::Elements` showed.
+    pub fn bench(
+        &self,
+        group: &str,
+        label: &str,
+        elements: u64,
+        mut f: impl FnMut(u64) -> Duration,
+    ) {
+        assert!(elements > 0);
+        // Calibrate: double the iteration count until one run is long
+        // enough to dominate timer noise.
+        let mut iters = 1u64;
+        loop {
+            let d = f(iters);
+            if d * 5 >= self.target || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let mut per_elem: Vec<f64> = (0..self.samples)
+            .map(|_| f(iters).as_nanos() as f64 / (iters * elements) as f64)
+            .collect();
+        per_elem.sort_by(f64::total_cmp);
+        let median = per_elem[per_elem.len() / 2];
+        println!(
+            "{group}/{label:<24} {median:>10.1} ns/op {:>10.2} Mops ({iters} iters x {} samples)",
+            1e3 / median,
+            self.samples,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn bench_runs_and_scales_iterations() {
+        let runner = Runner {
+            samples: 2,
+            target: Duration::from_micros(200),
+        };
+        let mut max_iters = 0u64;
+        runner.bench("test", "spin", 1, |iters| {
+            max_iters = max_iters.max(iters);
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(Instant::now());
+            }
+            start.elapsed()
+        });
+        assert!(max_iters >= 1, "calibration must run at least once");
+    }
+}

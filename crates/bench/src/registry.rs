@@ -2,7 +2,10 @@
 
 use lcrq_core::infinite::InfiniteArrayQueue;
 use lcrq_core::{HierarchicalConfig, Lcrq, LcrqCas, LcrqConfig};
-use lcrq_queues::{BasketsQueue, CcQueue, ConcurrentQueue, FcQueue, HQueue, MsQueue, OptimisticQueue, SimQueue, TwoLockQueue};
+use lcrq_queues::{
+    BasketsQueue, CcQueue, ConcurrentQueue, FcQueue, HQueue, MsQueue, OptimisticQueue, SimQueue,
+    TwoLockQueue,
+};
 
 /// The queue algorithms the harness can instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,11 +99,7 @@ impl QueueKind {
 
 /// Instantiates a queue. `ring_order` applies to the LCRQ variants;
 /// `clusters` to the hierarchical algorithms.
-pub fn make_queue(
-    kind: QueueKind,
-    ring_order: u32,
-    clusters: usize,
-) -> Box<dyn ConcurrentQueue> {
+pub fn make_queue(kind: QueueKind, ring_order: u32, clusters: usize) -> Box<dyn ConcurrentQueue> {
     let cfg = LcrqConfig::new().with_ring_order(ring_order);
     match kind {
         QueueKind::Lcrq => Box::new(Lcrq::with_config(cfg)),

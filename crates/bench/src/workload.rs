@@ -25,9 +25,15 @@ pub struct RunConfig {
     /// (matching the paper's round-robin socket pinning). 1 = flat.
     pub clusters: usize,
     /// Record per-operation latency (Figure 8); adds two clock reads per op.
+    /// With `batch > 1` the histogram records per-*batch* call latency.
     pub record_latency: bool,
     /// Pin threads round-robin over available CPUs (no-op on 1-CPU hosts).
     pub pin: bool,
+    /// Operations per batch call: 1 runs the paper's scalar pairs loop;
+    /// `k > 1` moves `k` items per `enqueue_batch`/`dequeue_batch` call,
+    /// exercising the multi-slot F&A reservation path (one F&A per k ops on
+    /// LCRQ instead of one per op). Totals stay `2 × threads × pairs`.
+    pub batch: usize,
 }
 
 impl RunConfig {
@@ -41,7 +47,15 @@ impl RunConfig {
             clusters: 1,
             record_latency: false,
             pin: true,
+            batch: 1,
         }
+    }
+
+    /// Returns `self` with [`batch`](RunConfig::batch) set to `k`.
+    pub fn with_batch(mut self, k: usize) -> Self {
+        assert!(k > 0, "batch must be at least 1");
+        self.batch = k;
+        self
     }
 }
 
@@ -97,34 +111,75 @@ pub fn run_workload<Q: ConcurrentQueue>(queue: &Q, cfg: &RunConfig) -> RunResult
                 let mut rng = XorShift64Star::new(0x9E37 + t as u64);
                 let mut local_hist = cfg.record_latency.then(LatencyHistogram::new);
                 barrier_ref.wait();
-                for i in 0..cfg.pairs {
-                    let v = ((t as u64) << 40) | i;
-                    if let Some(h) = &mut local_hist {
-                        let t0 = Instant::now();
-                        queue.enqueue(v);
-                        h.record(t0.elapsed().as_nanos() as u64);
-                    } else {
-                        queue.enqueue(v);
+                if cfg.batch <= 1 {
+                    for i in 0..cfg.pairs {
+                        let v = ((t as u64) << 40) | i;
+                        if let Some(h) = &mut local_hist {
+                            let t0 = Instant::now();
+                            queue.enqueue(v);
+                            h.record(t0.elapsed().as_nanos() as u64);
+                        } else {
+                            queue.enqueue(v);
+                        }
+                        metrics::inc(Event::EnqOp);
+                        if cfg.max_delay_ns > 0 {
+                            spin_for_ns(rng.next_below(cfg.max_delay_ns + 1));
+                        }
+                        let got = if let Some(h) = &mut local_hist {
+                            let t0 = Instant::now();
+                            let got = queue.dequeue();
+                            h.record(t0.elapsed().as_nanos() as u64);
+                            got
+                        } else {
+                            queue.dequeue()
+                        };
+                        metrics::inc(if got.is_some() {
+                            Event::DeqOp
+                        } else {
+                            Event::DeqEmpty
+                        });
+                        if cfg.max_delay_ns > 0 {
+                            spin_for_ns(rng.next_below(cfg.max_delay_ns + 1));
+                        }
                     }
-                    metrics::inc(Event::EnqOp);
-                    if cfg.max_delay_ns > 0 {
-                        spin_for_ns(rng.next_below(cfg.max_delay_ns + 1));
-                    }
-                    let got = if let Some(h) = &mut local_hist {
-                        let t0 = Instant::now();
-                        let got = queue.dequeue();
-                        h.record(t0.elapsed().as_nanos() as u64);
-                        got
-                    } else {
-                        queue.dequeue()
-                    };
-                    metrics::inc(if got.is_some() {
-                        Event::DeqOp
-                    } else {
-                        Event::DeqEmpty
-                    });
-                    if cfg.max_delay_ns > 0 {
-                        spin_for_ns(rng.next_below(cfg.max_delay_ns + 1));
+                } else {
+                    // Batched pairs: same 2 × pairs operation total, moved
+                    // k at a time. A dequeue-batch shortfall counts one
+                    // DeqEmpty per unfulfilled slot — the accounting twin
+                    // of the scalar loop's empty dequeues.
+                    let mut vals = Vec::with_capacity(cfg.batch);
+                    let mut got = Vec::with_capacity(cfg.batch);
+                    let mut i = 0u64;
+                    while i < cfg.pairs {
+                        let n = (cfg.batch as u64).min(cfg.pairs - i) as usize;
+                        vals.clear();
+                        vals.extend((0..n as u64).map(|j| ((t as u64) << 40) | (i + j)));
+                        if let Some(h) = &mut local_hist {
+                            let t0 = Instant::now();
+                            queue.enqueue_batch(&vals);
+                            h.record(t0.elapsed().as_nanos() as u64);
+                        } else {
+                            queue.enqueue_batch(&vals);
+                        }
+                        metrics::add(Event::EnqOp, n as u64);
+                        if cfg.max_delay_ns > 0 {
+                            spin_for_ns(rng.next_below(cfg.max_delay_ns + 1));
+                        }
+                        got.clear();
+                        let taken = if let Some(h) = &mut local_hist {
+                            let t0 = Instant::now();
+                            let taken = queue.dequeue_batch(&mut got, n);
+                            h.record(t0.elapsed().as_nanos() as u64);
+                            taken
+                        } else {
+                            queue.dequeue_batch(&mut got, n)
+                        };
+                        metrics::add(Event::DeqOp, taken as u64);
+                        metrics::add(Event::DeqEmpty, (n - taken) as u64);
+                        if cfg.max_delay_ns > 0 {
+                            spin_for_ns(rng.next_below(cfg.max_delay_ns + 1));
+                        }
+                        i += n as u64;
                     }
                 }
                 metrics::flush();
@@ -205,6 +260,48 @@ mod tests {
     }
 
     #[test]
+    fn batched_workload_counts_ops_and_amortizes_faa() {
+        let q = Lcrq::new();
+        let mut cfg = RunConfig::new(2).with_batch(16);
+        cfg.pairs = 512;
+        cfg.max_delay_ns = 0;
+        cfg.pin = false;
+        let r = run_workload(&q, &cfg);
+        assert_eq!(r.total_ops, 2_048);
+        assert_eq!(r.counters.get(Event::EnqOp), 1_024);
+        assert_eq!(
+            r.counters.get(Event::DeqOp) + r.counters.get(Event::DeqEmpty),
+            1_024
+        );
+        // Every enqueued item must come back out (pairs are balanced and
+        // dequeue_batch only falls short on a genuinely empty queue).
+        assert!(r.counters.get(Event::BatchEnqueue) >= 2 * 512 / 16);
+        assert!(r.counters.mean_enqueue_batch() > 1.0);
+        // The batch path must spend far fewer F&As than two per pair.
+        assert!(
+            r.counters.faa_per_op() < 1.0,
+            "k=16 batches should amortize F&A below 1/op, got {}",
+            r.counters.faa_per_op()
+        );
+    }
+
+    #[test]
+    fn batched_and_scalar_runs_move_the_same_items() {
+        for batch in [1usize, 4, 16] {
+            let q = Lcrq::new();
+            let mut cfg = RunConfig::new(1).with_batch(batch);
+            cfg.pairs = 333; // not a multiple of the batch: exercises the tail
+            cfg.max_delay_ns = 0;
+            cfg.pin = false;
+            let r = run_workload(&q, &cfg);
+            assert_eq!(r.counters.get(Event::EnqOp), 333, "batch={batch}");
+            // Single-threaded balanced pairs: nothing may remain.
+            assert_eq!(q.dequeue(), None, "batch={batch}");
+            assert_eq!(r.counters.get(Event::DeqOp), 333, "batch={batch}");
+        }
+    }
+
+    #[test]
     fn prefill_leaves_items_behind() {
         let q = Lcrq::new();
         let mut cfg = RunConfig::new(1);
@@ -220,7 +317,11 @@ mod tests {
             left += 1;
         }
         assert_eq!(left, 50);
-        assert_eq!(r.counters.get(Event::DeqEmpty), 0, "never empty with prefill");
+        assert_eq!(
+            r.counters.get(Event::DeqEmpty),
+            0,
+            "never empty with prefill"
+        );
     }
 
     #[test]

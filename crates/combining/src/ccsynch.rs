@@ -58,7 +58,10 @@ impl<S: SeqObject> CcSynch<S> {
             Announced::Combine(start) => {
                 // SAFETY: we hold the combiner role, which grants exclusive
                 // access to `state` by the CC-Synch protocol.
-                unsafe { self.list.combine(start, &mut *self.state.get(), self.help_limit) }
+                unsafe {
+                    self.list
+                        .combine(start, &mut *self.state.get(), self.help_limit)
+                }
             }
         }
     }

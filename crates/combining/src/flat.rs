@@ -127,10 +127,7 @@ impl<S: SeqObject> FlatCombining<S> {
                 // scan completes our operation too.
                 self.combine();
                 drop(guard);
-                debug_assert_eq!(
-                    unsafe { (*rec).status.load(Ordering::Relaxed) },
-                    DONE
-                );
+                debug_assert_eq!(unsafe { (*rec).status.load(Ordering::Relaxed) }, DONE);
             } else {
                 backoff.snooze();
             }
@@ -182,7 +179,8 @@ impl<S: SeqObject> FlatCombining<S> {
 
 impl<S: SeqObject> Drop for FlatCombining<S> {
     fn drop(&mut self) {
-        let registry = core::mem::take(&mut *self.registry.lock().unwrap_or_else(|e| e.into_inner()));
+        let registry =
+            core::mem::take(&mut *self.registry.lock().unwrap_or_else(|e| e.into_inner()));
         for p in registry {
             // SAFETY: exclusive access in drop; records are registry-owned.
             unsafe { drop(Box::from_raw(p)) };

@@ -97,7 +97,9 @@ impl<S: SeqObject> RequestList<S> {
         // SAFETY: the spare node is owned by this thread until the SWAP
         // publishes it; afterwards only status/next are touched by others.
         unsafe {
-            (*next_node).next.store(core::ptr::null_mut(), Ordering::Relaxed);
+            (*next_node)
+                .next
+                .store(core::ptr::null_mut(), Ordering::Relaxed);
             (*next_node).status.store(WAITING, Ordering::Relaxed);
         }
         let cur_node = swap_ptr(&self.tail, next_node);
@@ -181,7 +183,8 @@ impl<S: SeqObject> RequestList<S> {
 
 impl<S: SeqObject> Drop for RequestList<S> {
     fn drop(&mut self) {
-        let registry = core::mem::take(&mut *self.registry.lock().unwrap_or_else(|e| e.into_inner()));
+        let registry =
+            core::mem::take(&mut *self.registry.lock().unwrap_or_else(|e| e.into_inner()));
         for p in registry {
             // SAFETY: exclusive access in drop; every node is registry-owned.
             unsafe { drop(Box::from_raw(p)) };

@@ -160,7 +160,7 @@ where
             let toggles = self.toggles.load(Ordering::SeqCst);
             let pending = toggles ^ cur_ref.applied;
             metrics::inc(Event::CombinerRound);
-            for j in 0..MAX_SIM_THREADS {
+            for (j, ret) in rets.iter_mut().enumerate() {
                 if pending & (1 << j) == 0 {
                     continue;
                 }
@@ -178,7 +178,7 @@ where
                 // served concurrently — but then the current record moved
                 // past `cur` and our CAS below must fail, so the speculative
                 // application is never published.
-                rets[j] = Some(state.apply(op));
+                *ret = Some(state.apply(op));
                 metrics::inc(Event::OpsCombined);
             }
             let new = Box::into_raw(Box::new(Record {

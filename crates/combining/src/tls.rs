@@ -80,7 +80,7 @@ mod tests {
     #[test]
     fn eviction_keeps_cache_bounded() {
         let victim = new_instance_id();
-        get_or_insert(victim, || 0x1 as *mut ());
+        get_or_insert(victim, std::ptr::dangling_mut::<()>);
         for _ in 0..MAX_ENTRIES + 4 {
             let id = new_instance_id();
             get_or_insert(id, || 0x2 as *mut ());
@@ -94,11 +94,9 @@ mod tests {
     fn cache_is_thread_local() {
         let id = new_instance_id();
         get_or_insert(id, || 0xAA as *mut ());
-        let from_other = std::thread::spawn(move || {
-            get_or_insert(id, || 0xBB as *mut ()) as usize
-        })
-        .join()
-        .unwrap();
+        let from_other = std::thread::spawn(move || get_or_insert(id, || 0xBB as *mut ()) as usize)
+            .join()
+            .unwrap();
         assert_eq!(from_other, 0xBB);
         assert_eq!(get_or_insert(id, || 0xCC as *mut ()), 0xAA as *mut ());
     }

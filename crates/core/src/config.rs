@@ -127,7 +127,9 @@ mod tests {
 
     #[test]
     fn builders_clamp() {
-        let c = LcrqConfig::new().with_ring_order(99).with_starvation_limit(0);
+        let c = LcrqConfig::new()
+            .with_ring_order(99)
+            .with_starvation_limit(0);
         assert_eq!(c.ring_order, 30);
         assert_eq!(c.starvation_limit, 1);
         let c = LcrqConfig::new().with_ring_order(0);

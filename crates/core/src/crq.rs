@@ -70,17 +70,32 @@ impl<P: FaaPolicy> Crq<P> {
     /// Creates a ring pre-seeded with one item (used when an enqueuer
     /// appends a fresh CRQ "initialized to contain x", Figure 5c line 162).
     pub fn with_seed(config: &LcrqConfig, seed: Option<u64>) -> Self {
+        match seed {
+            Some(x) => Self::with_seed_batch(config, &[x]),
+            None => Self::with_seed_batch(config, &[]),
+        }
+    }
+
+    /// Creates a ring pre-seeded with `seed` (at most `R` items): the batch
+    /// generalization of [`with_seed`](Self::with_seed), used when a batch
+    /// enqueue closes the tail ring mid-batch and spills its unplaced
+    /// remainder into the fresh ring it appends.
+    pub fn with_seed_batch(config: &LcrqConfig, seed: &[u64]) -> Self {
         let size = config.ring_size();
+        assert!(
+            seed.len() as u64 <= size,
+            "seed batch ({}) exceeds ring size ({size})",
+            seed.len()
+        );
         let ring: Vec<Node> = (0..size).map(Node::new).collect();
-        let mut tail = 0;
-        if let Some(x) = seed {
+        for (u, &x) in seed.iter().enumerate() {
             debug_assert!(x != BOTTOM);
-            let v = ring[0].read();
-            let ok = ring[0].try_enqueue(&v, 0, x);
+            let v = ring[u].read();
+            let ok = ring[u].try_enqueue(&v, u as u64, x);
             debug_assert!(ok);
             let _ = ok;
-            tail = 1;
         }
+        let tail = seed.len() as u64;
         metrics::inc(Event::CrqAlloc);
         Self {
             head: CachePadded::new(AtomicU64::new(0)),
@@ -198,6 +213,166 @@ impl<P: FaaPolicy> Crq<P> {
                 return None;
             }
         }
+    }
+
+    /// Appends a prefix of `values` after reserving up to `values.len()`
+    /// consecutive tail indices with a **single** `FAA(tail, k)`, then
+    /// filling each reserved slot with the ordinary per-slot CAS2 enqueue
+    /// transition. Returns the number of values placed.
+    ///
+    /// Semantics: the batch is **not** an atomic multi-enqueue — it
+    /// linearizes as `placed` individual enqueues whose queue positions are
+    /// contiguous within this reservation (concurrent enqueuers' items sit
+    /// entirely before or after the reserved range, never between two items
+    /// of the same reservation; see DESIGN.md "Batched operations").
+    ///
+    /// A return of `placed < values.len()` means one of:
+    ///
+    /// * the ring is [closed](Self::is_closed) (tantrum) — the caller must
+    ///   spill the remainder elsewhere (the LCRQ appends a fresh ring
+    ///   seeded via [`with_seed_batch`](Self::with_seed_batch));
+    /// * the ring is still open but this reservation ran out of usable
+    ///   slots (a slot was skipped after a dequeuer's empty/unsafe
+    ///   transition, or `values.len() > R`) — the caller may simply call
+    ///   again for the rest.
+    ///
+    /// Skipped reserved indices are harmless: a dequeuer reaching one
+    /// performs the same empty transition it would after a scalar
+    /// enqueuer's failed placement attempt.
+    pub fn enqueue_batch(&self, values: &[u64]) -> usize {
+        if values.is_empty() {
+            return 0;
+        }
+        // Cap the reservation at R: indices beyond one lap can never all be
+        // usable, and a bounded reservation keeps `head - tail` overshoot
+        // (and thus fix_state work) small.
+        let k = (values.len() as u64).min(self.ring_size());
+        let raw = P::fetch_add_k(&self.tail, k); // one F&A for k indices
+        if raw & CLOSED_BIT != 0 {
+            return 0;
+        }
+        metrics::inc(Event::BatchEnqueue);
+        let first = raw;
+        let mut placed = 0usize;
+        let mut attempts = 0u32;
+        for j in 0..k {
+            debug_assert!(values[placed] != BOTTOM, "BOTTOM is reserved");
+            let t = first + j;
+            let node = self.node(t);
+            loop {
+                metrics::inc(Event::NodeVisit);
+                let view = node.read();
+                lcrq_util::adversary::preempt_point(); // read→CAS2 window
+                if view.is_empty()
+                    && view.idx <= t
+                    && (view.safe || self.head.load(Ordering::SeqCst) <= t)
+                {
+                    if node.try_enqueue(&view, t, values[placed]) {
+                        placed += 1;
+                        break;
+                    }
+                    continue; // CAS2 failed: node changed; re-read
+                }
+                // Slot unusable this lap (dequeuer advanced its index or
+                // left it unsafe): keep the value for the next reserved
+                // index, exactly as a scalar enqueue would re-F&A.
+                attempts += 1;
+                let h = self.head.load(Ordering::SeqCst);
+                if t.wrapping_sub(h) as i64 >= self.ring_size() as i64
+                    || attempts >= self.starvation_limit
+                {
+                    self.close();
+                    metrics::add(Event::BatchEnqueueItems, placed as u64);
+                    return placed;
+                }
+                break;
+            }
+            if placed == values.len() {
+                break;
+            }
+        }
+        metrics::add(Event::BatchEnqueueItems, placed as u64);
+        placed
+    }
+
+    /// Removes up to `max` of the oldest values after reserving head
+    /// indices with a **single** `FAA(head, k)`, appending them to `out` in
+    /// queue order. Returns the number of values removed.
+    ///
+    /// `k` is bounded by the observed `tail - head` distance so an
+    /// over-long batch does not manufacture empty transitions on indices no
+    /// enqueuer has reserved (the bound is racy under concurrency — any
+    /// overshoot behaves exactly like the same number of scalar empty
+    /// dequeues). Each reserved index is processed with the ordinary
+    /// per-slot protocol: dequeue transition, bounded wait, unsafe/empty
+    /// transitions, so tantrum semantics are preserved per index.
+    ///
+    /// Returns 0 **without reserving anything** when the queue looks empty;
+    /// callers needing a linearizable EMPTY verdict (or ring switching)
+    /// should fall back to a scalar [`dequeue`](Self::dequeue).
+    pub fn dequeue_batch(&self, out: &mut Vec<u64>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let h0 = self.head.load(Ordering::SeqCst);
+        let avail = self.tail_index().saturating_sub(h0);
+        let k = (max as u64).min(avail);
+        if k == 0 {
+            return 0;
+        }
+        metrics::inc(Event::BatchDequeue);
+        let first = P::fetch_add_k(&self.head, k); // one F&A for k indices
+        let mut taken = 0usize;
+        for j in 0..k {
+            let h = first + j;
+            let node = self.node(h);
+            let mut spins = self.bounded_wait_spins;
+            loop {
+                metrics::inc(Event::NodeVisit);
+                let view = node.read();
+                lcrq_util::adversary::preempt_point(); // read→CAS2 window
+                if view.idx > h {
+                    break; // overtaken between the reservation and the read
+                }
+                if !view.is_empty() {
+                    if view.idx == h {
+                        // Our item: dequeue transition.
+                        if node.try_dequeue(&view, self.ring_size()) {
+                            out.push(view.val);
+                            taken += 1;
+                            break;
+                        }
+                    } else if node.try_mark_unsafe(&view) {
+                        // Previous-lap item we cannot take.
+                        metrics::inc(Event::UnsafeTransition);
+                        break;
+                    }
+                } else {
+                    // Empty node: wait briefly for the matching enqueuer
+                    // (§4.1.1), then block the index with an empty
+                    // transition.
+                    if spins > 0 && self.tail_index() > h {
+                        spins -= 1;
+                        metrics::inc(Event::SpinWait);
+                        core::hint::spin_loop();
+                        continue;
+                    }
+                    if node.try_empty(&view, h, self.ring_size()) {
+                        metrics::inc(Event::EmptyTransition);
+                        break;
+                    }
+                }
+                // A CAS2 failed: the node changed; re-read and retry.
+            }
+        }
+        if taken == 0 && self.tail_index() <= first + k {
+            // Whole reservation came up empty-handed: repair any
+            // head-past-tail overshoot before reporting nothing, as the
+            // scalar path does.
+            self.fix_state();
+        }
+        metrics::add(Event::BatchDequeueItems, taken as u64);
+        taken
     }
 
     /// Closes the ring: every future enqueue returns [`CrqClosed`].
@@ -348,7 +523,10 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(q.dequeue(), None);
         }
-        assert!(q.head_index() <= q.tail_index(), "fixState must repair head>tail");
+        assert!(
+            q.head_index() <= q.tail_index(),
+            "fixState must repair head>tail"
+        );
         q.enqueue(5).unwrap();
         assert_eq!(q.dequeue(), Some(5));
     }
@@ -385,9 +563,7 @@ mod tests {
                             match q.dequeue() {
                                 Some(v) => got.push(v),
                                 None => {
-                                    if producers_done.load(Ordering::SeqCst)
-                                        == producers as u64
-                                    {
+                                    if producers_done.load(Ordering::SeqCst) == producers as u64 {
                                         // This dequeue linearizes after the
                                         // flag read, hence after every
                                         // enqueue: None now means drained.
@@ -530,7 +706,11 @@ mod tests {
         q.enqueue(1).unwrap();
         q.close();
         assert!(q.is_closed());
-        assert_eq!(q.tail_index(), aligned + 1, "closed bit must not leak into the index");
+        assert_eq!(
+            q.tail_index(),
+            aligned + 1,
+            "closed bit must not leak into the index"
+        );
         assert_eq!(q.enqueue(2), Err(CrqClosed));
         assert_eq!(q.dequeue(), Some(1));
         assert_eq!(q.dequeue(), None);
@@ -549,9 +729,17 @@ mod tests {
         assert_eq!(q.dequeue(), None);
     }
 
+    // Tests that bracket the process-wide metrics aggregate with
+    // flush + snapshot must not run concurrently with each other.
+    static METRICS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    fn metrics_guard() -> std::sync::MutexGuard<'static, ()> {
+        METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn common_case_uses_two_faa_per_pair() {
         use lcrq_util::metrics;
+        let _g = metrics_guard();
         let q = crq(8);
         metrics::flush();
         let before = metrics::snapshot();
@@ -566,5 +754,217 @@ mod tests {
         // One CAS2 per op, all successful.
         assert_eq!(d.get(metrics::Event::Cas2Attempt), 200);
         assert_eq!(d.get(metrics::Event::Cas2Failure), 0);
+    }
+
+    #[test]
+    fn batch_round_trip_preserves_fifo_order() {
+        let q = crq(6); // R = 64
+        let values: Vec<u64> = (100..160).collect();
+        assert_eq!(q.enqueue_batch(&values), 60);
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(&mut out, 25), 25);
+        assert_eq!(q.dequeue_batch(&mut out, 100), 35);
+        assert_eq!(out, values);
+        assert_eq!(q.dequeue_batch(&mut out, 10), 0, "drained");
+        assert_eq!(q.dequeue(), None);
+        assert!(!q.is_closed());
+    }
+
+    #[test]
+    fn empty_batches_touch_nothing() {
+        let q = crq(4);
+        let t0 = q.tail_index();
+        let h0 = q.head_index();
+        assert_eq!(q.enqueue_batch(&[]), 0);
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(&mut out, 0), 0);
+        assert_eq!(
+            q.dequeue_batch(&mut out, 8),
+            0,
+            "empty ring: no reservation"
+        );
+        assert_eq!(q.tail_index(), t0, "no F&A may have moved tail");
+        assert_eq!(q.head_index(), h0, "no F&A may have moved head");
+    }
+
+    #[test]
+    fn batch_reservation_is_capped_at_ring_size() {
+        let q = crq(3); // R = 8
+        let values: Vec<u64> = (0..20).collect();
+        // One reservation covers at most R indices: first call places 8.
+        assert_eq!(q.enqueue_batch(&values), 8);
+        assert!(!q.is_closed());
+        // The ring is now full: the next reservation finds an occupied node
+        // with head R behind it and throws the tantrum.
+        assert_eq!(q.enqueue_batch(&values[8..]), 0);
+        assert!(q.is_closed(), "full ring must close, not spin");
+        // Everything accepted is still there, in order.
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(&mut out, 20), 8);
+        assert_eq!(out, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn dequeue_batch_is_bounded_by_the_backlog() {
+        let q = crq(5);
+        assert_eq!(q.enqueue_batch(&[1, 2, 3, 4, 5]), 5);
+        let mut out = Vec::new();
+        // max far beyond the backlog: the reservation must not overshoot
+        // (head stays <= tail; no empty transitions are manufactured).
+        assert_eq!(q.dequeue_batch(&mut out, 1_000), 5);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert!(q.head_index() <= q.tail_index());
+        // Refill to prove no index was poisoned by the over-ask.
+        q.enqueue(6).unwrap();
+        assert_eq!(q.dequeue(), Some(6));
+    }
+
+    #[test]
+    fn batch_and_scalar_ops_interleave() {
+        let q = crq(6);
+        q.enqueue(1).unwrap();
+        assert_eq!(q.enqueue_batch(&[2, 3, 4]), 3);
+        q.enqueue(5).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(&mut out, 2), 2);
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue_batch(&mut out, 10), 2);
+        assert_eq!(out, vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn seeded_batch_ring_drains_in_order() {
+        let seed: Vec<u64> = (10..18).collect();
+        let q: Crq = Crq::with_seed_batch(&small_config(3), &seed);
+        assert_eq!(q.tail_index(), 8);
+        assert_eq!(q.head_index(), 0);
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(&mut out, 100), 8);
+        assert_eq!(out, seed);
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds ring size")]
+    fn oversized_seed_batch_panics() {
+        let seed: Vec<u64> = (0..9).collect();
+        let _q: Crq = Crq::with_seed_batch(&small_config(3), &seed); // R = 8
+    }
+
+    #[test]
+    fn batch_wraps_the_ring_many_times() {
+        let q = crq(3); // R = 8
+        let mut out = Vec::new();
+        for lap in 0..200u64 {
+            let vals: Vec<u64> = (0..5).map(|i| lap * 10 + i).collect();
+            assert_eq!(q.enqueue_batch(&vals), 5);
+            out.clear();
+            assert_eq!(q.dequeue_batch(&mut out, 5), 5);
+            assert_eq!(out, vals);
+        }
+        assert!(!q.is_closed(), "in-capacity batches must never close");
+    }
+
+    #[test]
+    fn cas_variant_batches_identically() {
+        use lcrq_atomic::CasLoopFaa;
+        let q: Crq<CasLoopFaa> = Crq::new(&small_config(6));
+        let values: Vec<u64> = (0..40).collect();
+        assert_eq!(q.enqueue_batch(&values), 40);
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(&mut out, 40), 40);
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn batch_pays_one_faa_per_reservation() {
+        // The tentpole's acceptance criterion: k=16 batches must spend at
+        // least 8x fewer F&A instructions than the scalar loop (they spend
+        // exactly 16x fewer here: one FAA(ctr, 16) vs 16 FAA(ctr, 1)).
+        use lcrq_util::metrics::{self, Event};
+        let _g = metrics_guard();
+        const K: u64 = 16;
+        const ROUNDS: u64 = 10;
+
+        let scalar = crq(8);
+        metrics::flush();
+        let before = metrics::snapshot();
+        for r in 0..ROUNDS {
+            for i in 0..K {
+                scalar.enqueue(r * K + i).unwrap();
+            }
+            for i in 0..K {
+                assert_eq!(scalar.dequeue(), Some(r * K + i));
+            }
+        }
+        metrics::flush();
+        let scalar_faa = metrics::snapshot().delta_since(&before).get(Event::Faa);
+        assert_eq!(scalar_faa, 2 * K * ROUNDS, "one F&A per scalar op");
+
+        let batched = crq(8);
+        let before = metrics::snapshot();
+        let mut out = Vec::new();
+        for r in 0..ROUNDS {
+            let vals: Vec<u64> = (0..K).map(|i| r * K + i).collect();
+            assert_eq!(batched.enqueue_batch(&vals), K as usize);
+            out.clear();
+            assert_eq!(batched.dequeue_batch(&mut out, K as usize), K as usize);
+            assert_eq!(out, vals);
+        }
+        metrics::flush();
+        let d = metrics::snapshot().delta_since(&before);
+        let batch_faa = d.get(Event::Faa);
+        assert_eq!(batch_faa, 2 * ROUNDS, "one F&A per k=16 reservation");
+        assert!(
+            scalar_faa >= 8 * batch_faa,
+            "k=16 batches must amortize F&A >= 8x: scalar={scalar_faa} batch={batch_faa}"
+        );
+        // Batch-size accounting feeding table2/table3's F&A-per-op column.
+        assert_eq!(d.get(Event::BatchEnqueue), ROUNDS);
+        assert_eq!(d.get(Event::BatchEnqueueItems), K * ROUNDS);
+        assert_eq!(d.get(Event::BatchDequeue), ROUNDS);
+        assert_eq!(d.get(Event::BatchDequeueItems), K * ROUNDS);
+        assert_eq!(d.mean_enqueue_batch(), K as f64);
+        assert_eq!(d.mean_dequeue_batch(), K as f64);
+    }
+
+    #[test]
+    fn concurrent_batch_reservations_do_not_interleave_within_a_batch() {
+        // Two threads batch-enqueue stamped runs into one ring; each run
+        // placed by one reservation must occupy contiguous positions.
+        let q = crq(12); // R = 4096 >> total items: no closes
+        let writers = 2u64;
+        let runs = 50u64;
+        const K: usize = 8;
+        let q = &q;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                s.spawn(move || {
+                    for r in 0..runs {
+                        let base = (w << 32) | (r << 16);
+                        let vals: Vec<u64> = (0..K as u64).map(|i| base | i).collect();
+                        let mut placed = 0;
+                        while placed < K {
+                            placed += q.enqueue_batch(&vals[placed..]);
+                        }
+                    }
+                });
+            }
+        });
+        let mut out = Vec::new();
+        let total = writers as usize * runs as usize * K;
+        assert_eq!(q.dequeue_batch(&mut out, total + 10), total);
+        // Check contiguity: whenever an item with sequence 0 of a run shows
+        // up, the whole run follows consecutively (single reservation: the
+        // ring was big enough that every batch placed in full).
+        let mut i = 0;
+        while i < out.len() {
+            let v = out[i];
+            assert_eq!(v & 0xFFFF, 0, "runs must start at sequence 0");
+            for j in 0..K as u64 {
+                assert_eq!(out[i + j as usize], (v & !0xFFFF) | j, "run torn at {j}");
+            }
+            i += K;
+        }
     }
 }

@@ -36,7 +36,7 @@ impl Segment {
     fn alloc() -> *mut Segment {
         let cells: Vec<AtomicU64> = (0..SEG_SIZE).map(|_| AtomicU64::new(BOTTOM)).collect();
         let cells: Box<[AtomicU64; SEG_SIZE]> =
-            cells.into_boxed_slice().try_into().ok().expect("size matches");
+            cells.into_boxed_slice().try_into().expect("size matches");
         Box::into_raw(Box::new(Segment { cells }))
     }
 }
@@ -65,7 +65,9 @@ impl<P: FaaPolicy> InfiniteArrayQueue<P> {
         Self {
             head: CachePadded::new(AtomicU64::new(0)),
             tail: CachePadded::new(AtomicU64::new(0)),
-            directory: (0..DIR_SIZE).map(|_| AtomicPtr::new(core::ptr::null_mut())).collect(),
+            directory: (0..DIR_SIZE)
+                .map(|_| AtomicPtr::new(core::ptr::null_mut()))
+                .collect(),
             _faa: core::marker::PhantomData,
         }
     }

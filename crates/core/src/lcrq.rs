@@ -172,6 +172,106 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
         }
     }
 
+    /// Appends every value in `values` (all must be `< BOTTOM`) using
+    /// multi-slot reservations: one `FAA(tail, k)` claims up to `k`
+    /// consecutive indices of the tail ring, which are then filled with the
+    /// ordinary per-slot CAS2 protocol (see [`Crq::enqueue_batch`]).
+    ///
+    /// **Linearizability**: this is *not* an atomic multi-enqueue. It
+    /// linearizes as `values.len()` individual enqueues in slice order;
+    /// items covered by one reservation additionally occupy contiguous
+    /// queue positions. When the tail ring closes mid-batch (tantrum), the
+    /// unplaced remainder spills into the fresh ring this thread races to
+    /// append — pre-seeded via [`Crq::with_seed_batch`] so the spill costs
+    /// no further F&As — and a concurrent enqueuer may slip between the two
+    /// reservations. See DESIGN.md "Batched operations".
+    pub fn enqueue_batch(&self, values: &[u64]) {
+        for &v in values {
+            assert!(v != BOTTOM, "BOTTOM (u64::MAX) is reserved");
+        }
+        let mut rest = values;
+        while !rest.is_empty() {
+            let crq = self.domain.protect(HP_SLOT, &self.tail);
+            // SAFETY: hazard-protected.
+            let crq_ref = unsafe { &*crq };
+            let next = crq_ref.next.load(Ordering::SeqCst);
+            if !next.is_null() {
+                let _ = ops::ptr::cas_ptr(&self.tail, crq, next);
+                continue; // help the half-finished append, then retry
+            }
+            self.cluster_gate(crq_ref);
+            let placed = crq_ref.enqueue_batch(rest);
+            rest = &rest[placed..];
+            if rest.is_empty() {
+                break;
+            }
+            if !crq_ref.is_closed() {
+                // The reservation ran out of usable slots but the ring is
+                // still open: take a fresh reservation for the remainder.
+                continue;
+            }
+            // Tantrum mid-batch: spill the remainder (up to one ring's
+            // worth) into a fresh ring and race to link it, exactly like
+            // the scalar path's seeded ring.
+            let seed_len = (rest.len() as u64).min(self.config.ring_size()) as usize;
+            let newring = Box::into_raw(Box::new(Crq::<P>::with_seed_batch(
+                &self.config,
+                &rest[..seed_len],
+            )));
+            match ops::ptr::cas_ptr(&crq_ref.next, core::ptr::null_mut(), newring) {
+                Ok(()) => {
+                    let _ = ops::ptr::cas_ptr(&self.tail, crq, newring);
+                    rest = &rest[seed_len..];
+                }
+                Err(_) => {
+                    // Another enqueuer linked first; ours was never shared.
+                    // SAFETY: newring is unpublished and uniquely owned.
+                    unsafe { drop(Box::from_raw(newring)) };
+                }
+            }
+        }
+        self.domain.clear(HP_SLOT);
+    }
+
+    /// Removes up to `max` of the oldest values, appending them to `out` in
+    /// queue order; returns how many were removed. A return `< max` is a
+    /// linearizable EMPTY observation, exactly like a scalar
+    /// [`dequeue`](Self::dequeue) returning `None`.
+    ///
+    /// Reserves head indices in bulk — one `FAA(head, k)` for up to `k`
+    /// items, bounded by the observed backlog (see [`Crq::dequeue_batch`]).
+    /// When the bulk path finds nothing it falls back to one scalar
+    /// dequeue, which performs the December-2013 erratum double-check and
+    /// the head-ring switch, then resumes bulk reservations on the new
+    /// ring. Each removed item linearizes as an individual dequeue; items
+    /// of one reservation are consecutive in queue order.
+    pub fn dequeue_batch(&self, out: &mut Vec<u64>, max: usize) -> usize {
+        let mut taken = 0usize;
+        while taken < max {
+            let crq = self.domain.protect(HP_SLOT, &self.head);
+            // SAFETY: hazard-protected.
+            let crq_ref = unsafe { &*crq };
+            self.cluster_gate(crq_ref);
+            let got = crq_ref.dequeue_batch(out, max - taken);
+            taken += got;
+            if got > 0 {
+                continue;
+            }
+            // Bulk reservation found nothing: one scalar dequeue settles
+            // emptiness (erratum double-check) and switches rings. It
+            // re-protects and clears HP_SLOT internally.
+            match self.dequeue() {
+                Some(v) => {
+                    out.push(v);
+                    taken += 1;
+                }
+                None => break, // linearizable EMPTY
+            }
+        }
+        self.domain.clear(HP_SLOT);
+        taken
+    }
+
     /// Whether the queue appears empty (racy snapshot; `dequeue` is the
     /// linearizable way to observe emptiness).
     pub fn is_empty_hint(&self) -> bool {
@@ -227,9 +327,8 @@ impl<P: FaaPolicy> FromIterator<u64> for LcrqGeneric<P> {
 
 impl<P: FaaPolicy> Extend<u64> for LcrqGeneric<P> {
     fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
-        for v in iter {
-            self.enqueue(v);
-        }
+        let values: Vec<u64> = iter.into_iter().collect();
+        self.enqueue_batch(&values);
     }
 }
 
@@ -277,6 +376,14 @@ impl<P: FaaPolicy> lcrq_queues::ConcurrentQueue for LcrqGeneric<P> {
     }
     fn dequeue(&self) -> Option<u64> {
         LcrqGeneric::dequeue(self)
+    }
+    // Native overrides: one F&A reserves the whole batch's indices instead
+    // of the default scalar loop's one F&A per item.
+    fn enqueue_batch(&self, values: &[u64]) {
+        LcrqGeneric::enqueue_batch(self, values)
+    }
+    fn dequeue_batch(&self, out: &mut Vec<u64>, max: usize) -> usize {
+        LcrqGeneric::dequeue_batch(self, out, max)
     }
     fn name(&self) -> &'static str {
         match (P::name(), self.config.hierarchical.is_some()) {
@@ -427,11 +534,163 @@ mod tests {
         use lcrq_queues::ConcurrentQueue as _;
         assert_eq!(Lcrq::new().name(), "lcrq");
         assert_eq!(LcrqCas::new().name(), "lcrq-cas");
-        let h = Lcrq::with_config(
-            LcrqConfig::new().with_hierarchical(HierarchicalConfig::default()),
-        );
+        let h =
+            Lcrq::with_config(LcrqConfig::new().with_hierarchical(HierarchicalConfig::default()));
         assert_eq!(h.name(), "lcrq+h");
         assert!(h.is_nonblocking());
+    }
+
+    #[test]
+    fn batch_round_trip_default_ring() {
+        let q = Lcrq::new();
+        let values: Vec<u64> = (0..500).collect();
+        q.enqueue_batch(&values);
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(&mut out, 500), 500);
+        assert_eq!(out, values);
+        assert_eq!(q.dequeue_batch(&mut out, 1), 0, "linearizable EMPTY");
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn batch_spills_across_tiny_rings_in_order() {
+        // R = 8 and a 1000-item batch: the tail ring closes mid-batch over
+        // a hundred times; every remainder spills into a fresh seeded ring
+        // and FIFO order must survive the whole chain.
+        let q = Lcrq::with_config(tiny());
+        let values: Vec<u64> = (0..1_000).collect();
+        q.enqueue_batch(&values);
+        assert!(q.ring_count() > 1, "tiny rings must have spilled");
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(&mut out, 2_000), 1_000);
+        assert_eq!(out, values);
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn batch_dequeue_switches_rings() {
+        // Fill across several rings with scalar enqueues, then drain with
+        // one big batch dequeue: the scalar fallback inside dequeue_batch
+        // must retire exhausted rings (erratum double-check included) and
+        // resume bulk reservations on the next ring.
+        let q = Lcrq::with_config(tiny());
+        for i in 0..300 {
+            q.enqueue(i);
+        }
+        let before = q.ring_count();
+        assert!(before > 1);
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(&mut out, 300), 300);
+        assert_eq!(out, (0..300).collect::<Vec<u64>>());
+        assert!(q.ring_count() <= before);
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn batch_and_scalar_interleave_across_rings() {
+        let q = Lcrq::with_config(tiny());
+        q.enqueue(0);
+        q.enqueue_batch(&(1..50).collect::<Vec<u64>>());
+        q.enqueue(50);
+        q.enqueue_batch(&(51..100).collect::<Vec<u64>>());
+        let mut out = Vec::new();
+        out.push(q.dequeue().unwrap());
+        q.dequeue_batch(&mut out, 70);
+        while let Some(v) = q.dequeue() {
+            out.push(v);
+        }
+        assert_eq!(out, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn batch_dequeue_max_zero_is_a_no_op() {
+        let q = Lcrq::new();
+        q.enqueue(1);
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(&mut out, 0), 0);
+        assert!(out.is_empty());
+        assert_eq!(q.dequeue(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "BOTTOM")]
+    fn batch_enqueueing_bottom_panics_before_any_placement() {
+        let q = Lcrq::new();
+        q.enqueue_batch(&[1, u64::MAX]);
+    }
+
+    #[test]
+    fn batch_methods_reachable_through_the_trait() {
+        use lcrq_queues::ConcurrentQueue;
+        let q: Box<dyn ConcurrentQueue> = Box::new(Lcrq::with_config(tiny()));
+        q.enqueue_batch(&[1, 2, 3]);
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(&mut out, 8), 3);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mpmc_batch_stress_tiny_ring() {
+        // Batch producers vs batch consumers over constantly-closing rings:
+        // no loss, no duplication, per-producer order.
+        let q = Lcrq::with_config(tiny());
+        let q = &q;
+        let producers = 3u64;
+        let per = 2_000u64; // items per producer, in batches of 16
+        let done = std::sync::atomic::AtomicU64::new(0);
+        let done = &done;
+        let streams: Vec<Vec<u64>> = std::thread::scope(|s| {
+            for p in 0..producers {
+                s.spawn(move || {
+                    let mut i = 0;
+                    while i < per {
+                        let n = 16.min(per - i);
+                        let vals: Vec<u64> = (i..i + n).map(|v| (p << 40) | v).collect();
+                        q.enqueue_batch(&vals);
+                        i += n;
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        loop {
+                            let n = q.dequeue_batch(&mut got, 16);
+                            if n == 0 {
+                                if done.load(Ordering::SeqCst) == producers {
+                                    // EMPTY linearized after the flag read:
+                                    // one more look, then we are done.
+                                    if q.dequeue_batch(&mut got, 16) == 0 {
+                                        break;
+                                    }
+                                } else {
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            consumers.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<u64> = streams.iter().flatten().copied().collect();
+        assert_eq!(all.len() as u64, producers * per, "lost items");
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len() as u64, producers * per, "duplicates!");
+        for stream in &streams {
+            let mut last = std::collections::HashMap::new();
+            for &v in stream {
+                let (p, i) = (v >> 40, v & ((1 << 40) - 1));
+                if let Some(&prev) = last.get(&p) {
+                    assert!(i > prev, "per-producer order violated");
+                }
+                last.insert(p, i);
+            }
+        }
     }
 
     #[test]
@@ -476,9 +735,8 @@ mod tests {
         // not ~100.
         use lcrq_util::topology::set_current_cluster;
         let timeout = std::time::Duration::from_millis(40);
-        let q = Lcrq::with_config(
-            LcrqConfig::new().with_hierarchical(HierarchicalConfig { timeout }),
-        );
+        let q =
+            Lcrq::with_config(LcrqConfig::new().with_hierarchical(HierarchicalConfig { timeout }));
         set_current_cluster(2); // ring starts owned by cluster 0
         let start = std::time::Instant::now();
         for i in 0..100 {

@@ -217,12 +217,10 @@ mod tests {
         // All transitions from the pre-enqueue view must now fail.
         assert!(!n.try_enqueue(&stale, 0, 8));
         assert!(!n.try_empty(&stale, 8, 8));
-        let mut stale_occupied = stale;
-        stale_occupied.val = 7; // right value but stale word0 still matches!
-        // word0 unchanged by enqueue (same safe/idx)? enqueue set (1, 0):
-        // initial was also (1, 0), so word0 matches and val 7 matches — the
-        // dequeue transition legitimately succeeds. Demonstrate instead with
-        // an index change:
+        // A stale view with the *right* value would still dequeue: the
+        // enqueue set word0 to (1, 0), identical to the initial (1, 0), so a
+        // pre-enqueue view patched with val 7 matches legitimately. The
+        // staleness that must fail is an index change:
         let v = n.read();
         assert!(n.try_dequeue(&v, 8)); // idx now 8
         let old = n.read();

@@ -58,6 +58,42 @@ impl<T: Send, P: FaaPolicy> TypedLcrq<T, P> {
             *unsafe { Box::from_raw(ptr as *mut T) }
         })
     }
+
+    /// Appends every value of `iter` through the raw batch path: all values
+    /// are boxed up front, then their addresses enter the queue via
+    /// multi-slot reservations ([`LcrqGeneric::enqueue_batch`]) — one
+    /// fetch-and-add per reservation instead of one per item.
+    ///
+    /// Like the raw batch, this is a sequence of individual enqueues in
+    /// iterator order, not an atomic group (see DESIGN.md "Batched
+    /// operations"). Takes `&self`: concurrent callers are fine.
+    pub fn extend<I: IntoIterator<Item = T>>(&self, iter: I) {
+        let ptrs: Vec<u64> = iter
+            .into_iter()
+            .map(|value| {
+                let ptr = Box::into_raw(Box::new(value)) as u64;
+                debug_assert!(ptr < crate::BOTTOM && ptr != 0);
+                ptr
+            })
+            .collect();
+        self.inner.enqueue_batch(&ptrs);
+    }
+
+    /// Removes up to `max` of the oldest values, appending them to `out` in
+    /// FIFO order through the raw batch path
+    /// ([`LcrqGeneric::dequeue_batch`]); returns how many were moved.
+    /// A return `< max` is a linearizable EMPTY observation.
+    pub fn drain_into(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut ptrs = Vec::with_capacity(max.min(1024));
+        let taken = self.inner.dequeue_batch(&mut ptrs, max);
+        out.reserve(taken);
+        for ptr in ptrs {
+            // SAFETY: as in `dequeue`, each pointer is a Box::into_raw'd `T`
+            // handed out exactly once.
+            out.push(*unsafe { Box::from_raw(ptr as *mut T) });
+        }
+        taken
+    }
 }
 
 impl<T: Send, P: FaaPolicy> Default for TypedLcrq<T, P> {
@@ -77,18 +113,14 @@ impl<T: Send, P: FaaPolicy> core::fmt::Debug for TypedLcrq<T, P> {
 impl<T: Send, P: FaaPolicy> FromIterator<T> for TypedLcrq<T, P> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
         let q = Self::new();
-        for v in iter {
-            q.enqueue(v);
-        }
+        q.extend(iter);
         q
     }
 }
 
 impl<T: Send, P: FaaPolicy> Extend<T> for TypedLcrq<T, P> {
     fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
-        for v in iter {
-            self.enqueue(v);
-        }
+        TypedLcrq::extend(self, iter);
     }
 }
 
@@ -176,7 +208,7 @@ mod tests {
 
     #[test]
     fn from_iterator_extend_and_drain() {
-        let mut q: TypedLcrq<String> = ["a", "b"].into_iter().map(String::from).collect();
+        let q: TypedLcrq<String> = ["a", "b"].into_iter().map(String::from).collect();
         q.extend(["c".to_string()]);
         let out: Vec<String> = q.drain().collect();
         assert_eq!(out, vec!["a", "b", "c"]);
@@ -184,10 +216,59 @@ mod tests {
     }
 
     #[test]
+    fn extend_and_drain_into_round_trip_through_the_batch_path() {
+        let q: TypedLcrq<String> = TypedLcrq::new();
+        q.extend((0..100).map(|i| format!("item-{i}"))); // &self: no mut
+        let mut out = Vec::new();
+        assert_eq!(q.drain_into(&mut out, 30), 30);
+        assert_eq!(q.drain_into(&mut out, 1_000), 70, "short return = EMPTY");
+        let expected: Vec<String> = (0..100).map(|i| format!("item-{i}")).collect();
+        assert_eq!(out, expected);
+        assert_eq!(q.drain_into(&mut out, 1), 0);
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn extend_spills_across_tiny_rings() {
+        let q: TypedLcrq<u32> = TypedLcrq::with_config(LcrqConfig::new().with_ring_order(3));
+        q.extend(0..500u32);
+        let mut out = Vec::new();
+        assert_eq!(q.drain_into(&mut out, 500), 500);
+        assert_eq!(out, (0..500).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn drain_into_appends_after_existing_contents() {
+        let q: TypedLcrq<u8> = TypedLcrq::new();
+        q.extend([10, 11]);
+        let mut out = vec![9];
+        assert_eq!(q.drain_into(&mut out, 5), 2);
+        assert_eq!(out, vec![9, 10, 11]);
+    }
+
+    #[test]
+    fn batch_moved_values_drop_exactly_once() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let q: TypedLcrq<Counted> = TypedLcrq::new();
+        q.extend((0..50).map(|_| Counted(Arc::clone(&drops))));
+        let mut out = Vec::new();
+        assert_eq!(q.drain_into(&mut out, 20), 20);
+        drop(out); // 20 drained values dropped here
+        assert_eq!(drops.load(Ordering::SeqCst), 20);
+        drop(q); // remaining 30 freed by the queue's Drop
+        assert_eq!(drops.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
     fn mpmc_stress_typed() {
-        let q: Arc<TypedLcrq<(usize, u64)>> = Arc::new(TypedLcrq::with_config(
-            LcrqConfig::new().with_ring_order(4),
-        ));
+        let q: Arc<TypedLcrq<(usize, u64)>> =
+            Arc::new(TypedLcrq::with_config(LcrqConfig::new().with_ring_order(4)));
         let producers = 3usize;
         let per = 3_000u64;
         let handles: Vec<_> = (0..producers)
@@ -205,7 +286,7 @@ mod tests {
             let q = Arc::clone(&q);
             std::thread::spawn(move || {
                 let mut got = 0;
-                let mut last = vec![None; 8];
+                let mut last = [None; 8];
                 while got < total {
                     if let Some((p, i)) = q.dequeue() {
                         if let Some(prev) = last[p] {

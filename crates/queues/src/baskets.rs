@@ -130,7 +130,7 @@ impl BasketsQueue {
                 // SAFETY: node unpublished.
                 unsafe { (*node).next.store(0, Ordering::Relaxed) };
                 lcrq_util::adversary::preempt_point(); // read→CAS window
-                // SAFETY: tail protected.
+                                                       // SAFETY: tail protected.
                 if cas_word(unsafe { &(*tail).next }, 0, pack(node, false)) {
                     let _ = cas_word(&self.tail, tail_word, pack(node, false));
                     self.domain.clear(HP_TAIL);
@@ -192,7 +192,11 @@ impl BasketsQueue {
                 // head, so "head unchanged" proves the successor is live.
                 let succ = ptr_of(next);
                 debug_assert!(!succ.is_null(), "a marked link has a successor");
-                let slot = if hops % 2 == 0 { HP_ITER } else { HP_NEXT };
+                let slot = if hops.is_multiple_of(2) {
+                    HP_ITER
+                } else {
+                    HP_NEXT
+                };
                 self.domain.protect_raw(slot, succ as *mut ());
                 if self.head.load(Ordering::SeqCst) != head_word {
                     continue 'restart;
@@ -225,7 +229,11 @@ impl BasketsQueue {
             }
             // `candidate` is the oldest live node: read its value, then
             // logically delete it by marking the link that points at it.
-            let slot = if hops % 2 == 0 { HP_ITER } else { HP_NEXT };
+            let slot = if hops.is_multiple_of(2) {
+                HP_ITER
+            } else {
+                HP_NEXT
+            };
             self.domain.protect_raw(slot, candidate as *mut ());
             if self.head.load(Ordering::SeqCst) != head_word {
                 continue 'restart;
@@ -233,7 +241,7 @@ impl BasketsQueue {
             // SAFETY: candidate protected + head-validated.
             let value = unsafe { (*candidate).value };
             lcrq_util::adversary::preempt_point(); // read→CAS window
-            // SAFETY: iter protected throughout the walk.
+                                                   // SAFETY: iter protected throughout the walk.
             if cas_word(
                 unsafe { &(*iter).next },
                 pack(candidate, false),

@@ -99,7 +99,7 @@ impl MsQueue {
             let head = self.domain.protect(0, &self.head);
             let tail = self.tail.load(Ordering::Acquire);
             lcrq_util::adversary::preempt_point(); // inside the read→CAS window
-            // SAFETY: `head` is hazard-protected.
+                                                   // SAFETY: `head` is hazard-protected.
             let next = self.domain.protect(1, unsafe { &(*head).next });
             if head != self.head.load(Ordering::Acquire) {
                 continue;

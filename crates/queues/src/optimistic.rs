@@ -129,7 +129,7 @@ impl OptimisticQueue {
                 continue;
             }
             lcrq_util::adversary::preempt_point(); // inside the read→CAS window
-            // SAFETY: first is protected + validated above.
+                                                   // SAFETY: first is protected + validated above.
             let value = unsafe { (*first).value };
             if cas_ptr(&self.head, head, first).is_ok() {
                 self.domain.clear(HP_HEAD);
@@ -147,7 +147,7 @@ impl OptimisticQueue {
     /// immutable `next` chain. Aborts (safely) as soon as `head` moves.
     fn fix_list(&self, head: *mut Node, head_seq: u64, tail: *mut Node) {
         let mut cur = tail; // protected by HP_TAIL
-        // SAFETY: tail is hazard-protected.
+                            // SAFETY: tail is hazard-protected.
         let mut cur_seq = unsafe { (*cur).seq };
         while cur_seq > head_seq + 1 {
             // SAFETY: cur is protected (HP_TAIL initially, HP_WALK after);

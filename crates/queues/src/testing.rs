@@ -30,7 +30,12 @@ pub fn decode(value: u64) -> (usize, u64) {
 ///    histories, unlike full linearizability checking).
 ///
 /// Panics on any violation.
-pub fn mpmc_stress<Q: ConcurrentQueue>(queue: &Q, producers: usize, consumers: usize, per_producer: u64) {
+pub fn mpmc_stress<Q: ConcurrentQueue>(
+    queue: &Q,
+    producers: usize,
+    consumers: usize,
+    per_producer: u64,
+) {
     assert!(producers > 0 && consumers > 0);
     let total = producers as u64 * per_producer;
     let dequeued = AtomicU64::new(0);
@@ -99,9 +104,155 @@ pub fn mpmc_stress<Q: ConcurrentQueue>(queue: &Q, producers: usize, consumers: u
     assert_eq!(queue.dequeue(), None, "queue should be drained");
 }
 
-/// Sequential model check: runs a pseudo-random mix of operations against
-/// the queue and a `VecDeque` model and compares every result. Exercises
-/// empty transitions, refills, and long runs.
+/// Multi-producer multi-consumer stress test over the *batch* API.
+///
+/// Like [`mpmc_stress`], but producers move items with
+/// [`enqueue_batch`](ConcurrentQueue::enqueue_batch) in chunks of
+/// `batch` and consumers with
+/// [`dequeue_batch`](ConcurrentQueue::dequeue_batch). Checks the same
+/// properties — exactly-once delivery and per-producer order within each
+/// consumer stream — which batch semantics must preserve (a batch is a
+/// sequence of individual operations; see the trait docs).
+///
+/// Panics on any violation.
+pub fn mpmc_batch_stress<Q: ConcurrentQueue>(
+    queue: &Q,
+    producers: usize,
+    consumers: usize,
+    per_producer: u64,
+    batch: usize,
+) {
+    assert!(producers > 0 && consumers > 0 && batch > 0);
+    let total = producers as u64 * per_producer;
+    let dequeued = AtomicU64::new(0);
+    let barrier = Barrier::new(producers + consumers);
+
+    let barrier = &barrier;
+    let dequeued = &dequeued;
+    let all: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let mut consumer_handles = Vec::new();
+        for p in 0..producers {
+            s.spawn(move || {
+                barrier.wait();
+                let mut seq = 0u64;
+                while seq < per_producer {
+                    let n = (batch as u64).min(per_producer - seq);
+                    let vals: Vec<u64> = (seq..seq + n).map(|i| encode(p, i)).collect();
+                    queue.enqueue_batch(&vals);
+                    seq += n;
+                }
+            });
+        }
+        for _ in 0..consumers {
+            consumer_handles.push(s.spawn(move || {
+                barrier.wait();
+                let mut got = Vec::new();
+                while dequeued.load(Ordering::Relaxed) < total {
+                    let taken = queue.dequeue_batch(&mut got, batch);
+                    if taken > 0 {
+                        dequeued.fetch_add(taken as u64, Ordering::Relaxed);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                got
+            }));
+        }
+        consumer_handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    // 1. Exactly-once delivery.
+    let mut seen: Vec<u64> = all.iter().flatten().copied().collect();
+    assert_eq!(seen.len() as u64, total, "lost or duplicated items");
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len() as u64, total, "duplicated items");
+
+    // 2. Per-producer order within each consumer's local stream.
+    for stream in &all {
+        let mut last: std::collections::HashMap<usize, u64> = Default::default();
+        for &v in stream {
+            let (p, seq) = decode(v);
+            if let Some(&prev) = last.get(&p) {
+                assert!(
+                    seq > prev,
+                    "consumer observed producer {p} out of order: {seq} after {prev}"
+                );
+            }
+            last.insert(p, seq);
+        }
+    }
+
+    let mut rest = Vec::new();
+    assert_eq!(
+        queue.dequeue_batch(&mut rest, 1),
+        0,
+        "queue should be drained"
+    );
+}
+
+/// Sequential model check mixing scalar and batch operations against a
+/// `VecDeque` model: batch enqueues must append in slice order, batch
+/// dequeues must pop in FIFO order and report shortfalls only when the
+/// model is also empty.
+pub fn batch_model_check<Q: ConcurrentQueue>(queue: &Q, seed: u64) {
+    let mut rng = lcrq_util::XorShift64Star::new(seed);
+    let mut model: VecDeque<u64> = VecDeque::new();
+    let mut next_val = 0u64;
+    for step in 0..3_000 {
+        match rng.next_below(4) {
+            0 => {
+                queue.enqueue(next_val);
+                model.push_back(next_val);
+                next_val += 1;
+            }
+            1 => {
+                let n = rng.next_below(40) as usize;
+                let vals: Vec<u64> = (next_val..next_val + n as u64).collect();
+                queue.enqueue_batch(&vals);
+                model.extend(&vals);
+                next_val += n as u64;
+            }
+            2 => {
+                assert_eq!(
+                    queue.dequeue(),
+                    model.pop_front(),
+                    "divergence from model at step {step}"
+                );
+            }
+            _ => {
+                let max = rng.next_below(40) as usize;
+                let mut out = Vec::new();
+                let taken = queue.dequeue_batch(&mut out, max);
+                assert_eq!(taken, out.len(), "step {step}: taken != out.len()");
+                assert!(taken <= max, "step {step}: over-delivered");
+                for (i, v) in out.iter().enumerate() {
+                    assert_eq!(
+                        Some(*v),
+                        model.pop_front(),
+                        "divergence from model at step {step}, batch item {i}"
+                    );
+                }
+                if taken < max {
+                    assert!(
+                        model.is_empty(),
+                        "step {step}: short batch but model holds items"
+                    );
+                }
+            }
+        }
+    }
+    while let Some(expect) = model.pop_front() {
+        assert_eq!(queue.dequeue(), Some(expect));
+    }
+    assert_eq!(queue.dequeue(), None);
+}
+
+/// Runs a single-threaded randomized operation sequence against the queue
+/// and a `VecDeque` model, asserting identical observable behaviour.
 pub fn model_check<Q: ConcurrentQueue>(queue: &Q, seed: u64) {
     let mut rng = lcrq_util::XorShift64Star::new(seed);
     let mut model: VecDeque<u64> = VecDeque::new();
@@ -268,5 +419,38 @@ mod tests {
         let q = GoodQueue(Default::default());
         model_check(&q, 7);
         mpmc_stress(&q, 2, 2, 2_000);
+    }
+
+    #[test]
+    fn batch_harnesses_accept_a_correct_queue() {
+        struct GoodQueue(std::sync::Mutex<VecDeque<u64>>);
+        impl ConcurrentQueue for GoodQueue {
+            fn enqueue(&self, v: u64) {
+                self.0.lock().unwrap().push_back(v);
+            }
+            fn dequeue(&self) -> Option<u64> {
+                self.0.lock().unwrap().pop_front()
+            }
+            fn name(&self) -> &'static str {
+                "good"
+            }
+            fn is_nonblocking(&self) -> bool {
+                false
+            }
+        }
+        let q = GoodQueue(Default::default());
+        batch_model_check(&q, 11);
+        mpmc_batch_stress(&q, 2, 2, 2_000, 16);
+    }
+
+    #[test]
+    fn batch_stress_detects_lifo_order() {
+        let q = StackQueue {
+            inner: Default::default(),
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mpmc_batch_stress(&q, 1, 1, 2_000, 8);
+        }));
+        assert!(result.is_err(), "batch harness must reject LIFO order");
     }
 }

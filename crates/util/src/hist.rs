@@ -59,7 +59,7 @@ fn bucket_high(i: usize) -> u64 {
     } else {
         let exp = i / SUB - 1;
         let off = i - exp * SUB; // in [SUB, 2*SUB)
-        // All values v with (v >> exp) == off, i.e. [off<<exp, (off+1)<<exp).
+                                 // All values v with (v >> exp) == off, i.e. [off<<exp, (off+1)<<exp).
         let high = ((off as u128 + 1) << exp) - 1;
         u64::try_from(high).unwrap_or(u64::MAX)
     }

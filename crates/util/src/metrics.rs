@@ -57,9 +57,17 @@ pub enum Event {
     SpinWait,
     /// Hazard-pointer reclamation scans.
     HazardScan,
+    /// Batched enqueue reservations (one `FAA(tail, k)` each).
+    BatchEnqueue,
+    /// Items placed through batched enqueue reservations.
+    BatchEnqueueItems,
+    /// Batched dequeue reservations (one `FAA(head, k)` each).
+    BatchDequeue,
+    /// Items removed through batched dequeue reservations.
+    BatchDequeueItems,
 }
 
-const NUM_EVENTS: usize = Event::HazardScan as usize + 1;
+const NUM_EVENTS: usize = Event::BatchDequeueItems as usize + 1;
 
 const EVENT_NAMES: [&str; NUM_EVENTS] = [
     "faa",
@@ -81,10 +89,14 @@ const EVENT_NAMES: [&str; NUM_EVENTS] = [
     "ops_combined",
     "spin_wait",
     "hazard_scan",
+    "batch_enqueue",
+    "batch_enqueue_items",
+    "batch_dequeue",
+    "batch_dequeue_items",
 ];
 
 thread_local! {
-    static LOCAL: [Cell<u64>; NUM_EVENTS] = [const { Cell::new(0) }; NUM_EVENTS];
+    static LOCAL: [Cell<u64>; NUM_EVENTS] = const { [const { Cell::new(0) }; NUM_EVENTS] };
 }
 
 static GLOBAL: Mutex<[u64; NUM_EVENTS]> = Mutex::new([0; NUM_EVENTS]);
@@ -194,12 +206,44 @@ impl Snapshot {
         }
     }
 
+    /// Fetch-and-add instructions per completed operation. Scalar CRQ
+    /// operations pay exactly one F&A each; the batch paths reserve k
+    /// indices per F&A, driving this toward 1/k.
+    pub fn faa_per_op(&self) -> f64 {
+        let ops = self.total_ops();
+        if ops == 0 {
+            0.0
+        } else {
+            self.get(Event::Faa) as f64 / ops as f64
+        }
+    }
+
+    /// Mean items per batched enqueue reservation (0.0 when none happened).
+    pub fn mean_enqueue_batch(&self) -> f64 {
+        let batches = self.get(Event::BatchEnqueue);
+        if batches == 0 {
+            0.0
+        } else {
+            self.get(Event::BatchEnqueueItems) as f64 / batches as f64
+        }
+    }
+
+    /// Mean items per batched dequeue reservation (0.0 when none happened).
+    pub fn mean_dequeue_batch(&self) -> f64 {
+        let batches = self.get(Event::BatchDequeue);
+        if batches == 0 {
+            0.0
+        } else {
+            self.get(Event::BatchDequeueItems) as f64 / batches as f64
+        }
+    }
+
     /// Difference `self - other`, saturating at zero per event; lets a harness
     /// bracket a measured region with two snapshots.
     pub fn delta_since(&self, other: &Snapshot) -> Snapshot {
         let mut counts = [0u64; NUM_EVENTS];
-        for i in 0..NUM_EVENTS {
-            counts[i] = self.counts[i].saturating_sub(other.counts[i]);
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = self.counts[i].saturating_sub(other.counts[i]);
         }
         Snapshot { counts }
     }
@@ -321,5 +365,29 @@ mod tests {
         assert_eq!(s.atomic_ops_per_op(), 0.0);
         assert_eq!(s.cas_failure_rate(), 0.0);
         assert_eq!(s.cas2_failure_rate(), 0.0);
+        assert_eq!(s.faa_per_op(), 0.0);
+        assert_eq!(s.mean_enqueue_batch(), 0.0);
+        assert_eq!(s.mean_dequeue_batch(), 0.0);
+    }
+
+    #[test]
+    fn batch_accounting_yields_mean_sizes_and_faa_amortization() {
+        let _g = guard();
+        reset();
+        // Two batched enqueues of 16 and 8 items, one F&A reservation each.
+        add(Event::BatchEnqueue, 2);
+        add(Event::BatchEnqueueItems, 24);
+        add(Event::BatchDequeue, 1);
+        add(Event::BatchDequeueItems, 16);
+        add(Event::Faa, 3);
+        add(Event::EnqOp, 24);
+        add(Event::DeqOp, 16);
+        flush();
+        let s = snapshot();
+        assert_eq!(s.mean_enqueue_batch(), 12.0);
+        assert_eq!(s.mean_dequeue_batch(), 16.0);
+        assert_eq!(s.faa_per_op(), 3.0 / 40.0);
+        let text = s.to_string();
+        assert!(text.contains("batch_enqueue_items"));
     }
 }

@@ -32,7 +32,10 @@ use core::ops::{Deref, DerefMut};
 /// ```
 #[derive(Default, Clone, Copy, PartialEq, Eq)]
 #[cfg_attr(any(target_arch = "x86_64", target_arch = "aarch64"), repr(align(128)))]
-#[cfg_attr(not(any(target_arch = "x86_64", target_arch = "aarch64")), repr(align(64)))]
+#[cfg_attr(
+    not(any(target_arch = "x86_64", target_arch = "aarch64")),
+    repr(align(64))
+)]
 pub struct CachePadded<T> {
     value: T,
 }
@@ -87,7 +90,7 @@ mod tests {
 
     #[test]
     fn alignment_is_at_least_64() {
-        assert!(CACHE_LINE >= 64);
+        const { assert!(CACHE_LINE >= 64) };
         assert_eq!(core::mem::align_of::<CachePadded<u8>>(), CACHE_LINE);
         assert_eq!(core::mem::size_of::<CachePadded<u8>>(), CACHE_LINE);
     }
@@ -96,7 +99,10 @@ mod tests {
     fn large_values_keep_alignment() {
         // A value bigger than one line still starts line-aligned.
         assert_eq!(core::mem::align_of::<CachePadded<[u8; 300]>>(), CACHE_LINE);
-        assert_eq!(core::mem::size_of::<CachePadded<[u8; 300]>>() % CACHE_LINE, 0);
+        assert_eq!(
+            core::mem::size_of::<CachePadded<[u8; 300]>>() % CACHE_LINE,
+            0
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ impl XorShift64Star {
     /// Creates a generator from `seed`. A zero seed is remapped to a fixed
     /// non-zero constant (xorshift state must never be zero).
     pub const fn new(seed: u64) -> Self {
-        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        let state = if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        };
         Self { state }
     }
 

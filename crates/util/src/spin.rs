@@ -87,7 +87,8 @@ mod tests {
     #[test]
     fn deadline_expires() {
         let d = SpinDeadline::new(Duration::from_micros(50));
-        assert!(!d.expired() || true); // may already be expired on a loaded box
+        // May already be expired on a loaded box; either answer is fine.
+        let _ = d.expired();
         while !d.expired() {
             d.pause();
         }

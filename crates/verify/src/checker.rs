@@ -330,10 +330,7 @@ mod tests {
     #[test]
     fn tantrum_closed_is_permanent() {
         // enqueue returns CLOSED, then a later enqueue claims OK: illegal.
-        let h = hist(&[
-            (0, EnqClosed(1), 0, 1),
-            (0, Enq(2), 2, 3),
-        ]);
+        let h = hist(&[(0, EnqClosed(1), 0, 1), (0, Enq(2), 2, 3)]);
         assert!(check_tantrum(&h).is_err());
     }
 
@@ -409,7 +406,7 @@ mod tests {
                 ops.push(OpRecord {
                     thread: t,
                     op: Enq((t as u64) * 10 + k),
-                    invoked: 0 + (t as u64 * 2 + k) * 2,
+                    invoked: (t as u64 * 2 + k) * 2,
                     returned: 1000 + (t as u64 * 2 + k) * 2,
                 });
             }

@@ -42,12 +42,16 @@ pub struct Recording {
 }
 
 /// Marker describing the kind of operation a workload step performs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Completed {
     /// Enqueue the given value.
     Enq(u64),
     /// Attempt a dequeue.
     Deq,
+    /// Enqueue all given values with one `enqueue_batch` call.
+    EnqBatch(Vec<u64>),
+    /// Attempt to dequeue up to `max` values with one `dequeue_batch` call.
+    DeqBatch(usize),
 }
 
 /// Runs a concurrent workload against `queue` and records the history.
@@ -55,6 +59,16 @@ pub enum Completed {
 /// `scripts[t]` is the operation sequence thread `t` executes. All threads
 /// start together on a barrier to maximize overlap. Returns the merged
 /// history sorted by invocation time.
+///
+/// Batch steps expand into one [`OpRecord`] *per item*, all sharing the
+/// batch call's `[invoked, returned]` window: the batch contract is that
+/// the call linearizes as that many individual operations inside its
+/// real-time window, which is exactly what the expansion asserts. (The
+/// known intra-batch order becomes "concurrent" in the recorded history —
+/// a sound weakening: the checker can never falsely reject, and batch
+/// *order* is covered separately by the stress harnesses.) A
+/// `dequeue_batch` shortfall appends one [`HistoryOp::DeqEmpty`], the
+/// batch's linearizable EMPTY observation.
 pub fn record<Q: ConcurrentQueue>(queue: &Q, scripts: &[Vec<Completed>]) -> Recording {
     let clock = AtomicU64::new(0);
     let log: Mutex<Vec<OpRecord>> = Mutex::new(Vec::new());
@@ -67,23 +81,50 @@ pub fn record<Q: ConcurrentQueue>(queue: &Q, scripts: &[Vec<Completed>]) -> Reco
                 barrier.wait();
                 for step in script {
                     let invoked = clock.fetch_add(1, Ordering::SeqCst);
-                    let op = match *step {
-                        Completed::Enq(v) => {
-                            queue.enqueue(v);
-                            HistoryOp::Enq(v)
-                        }
-                        Completed::Deq => match queue.dequeue() {
-                            Some(v) => HistoryOp::DeqOk(v),
-                            None => HistoryOp::DeqEmpty,
-                        },
+                    let mut push = |op, returned| {
+                        local.push(OpRecord {
+                            thread: t,
+                            op,
+                            invoked,
+                            returned,
+                        })
                     };
-                    let returned = clock.fetch_add(1, Ordering::SeqCst);
-                    local.push(OpRecord {
-                        thread: t,
-                        op,
-                        invoked,
-                        returned,
-                    });
+                    match step {
+                        Completed::Enq(v) => {
+                            queue.enqueue(*v);
+                            let returned = clock.fetch_add(1, Ordering::SeqCst);
+                            push(HistoryOp::Enq(*v), returned);
+                        }
+                        Completed::Deq => {
+                            let got = queue.dequeue();
+                            let returned = clock.fetch_add(1, Ordering::SeqCst);
+                            push(
+                                match got {
+                                    Some(v) => HistoryOp::DeqOk(v),
+                                    None => HistoryOp::DeqEmpty,
+                                },
+                                returned,
+                            );
+                        }
+                        Completed::EnqBatch(vals) => {
+                            queue.enqueue_batch(vals);
+                            let returned = clock.fetch_add(1, Ordering::SeqCst);
+                            for &v in vals {
+                                push(HistoryOp::Enq(v), returned);
+                            }
+                        }
+                        Completed::DeqBatch(max) => {
+                            let mut out = Vec::with_capacity(*max);
+                            let taken = queue.dequeue_batch(&mut out, *max);
+                            let returned = clock.fetch_add(1, Ordering::SeqCst);
+                            for &v in &out {
+                                push(HistoryOp::DeqOk(v), returned);
+                            }
+                            if taken < *max {
+                                push(HistoryOp::DeqEmpty, returned);
+                            }
+                        }
+                    }
                 }
                 log.lock().unwrap().extend(local);
             });
@@ -139,9 +180,57 @@ mod tests {
     }
 
     #[test]
+    fn batch_steps_expand_into_per_item_records() {
+        let q = LockQueue(Mutex::new(VecDeque::new()));
+        let scripts = vec![vec![
+            Completed::EnqBatch(vec![1, 2, 3]),
+            Completed::DeqBatch(5),
+        ]];
+        let rec = record(&q, &scripts);
+        // 3 enqueues + 3 successful dequeues + 1 EMPTY for the shortfall.
+        assert_eq!(rec.ops.len(), 7);
+        let enqs = rec
+            .ops
+            .iter()
+            .filter(|r| matches!(r.op, HistoryOp::Enq(_)))
+            .count();
+        let deq_ok = rec
+            .ops
+            .iter()
+            .filter(|r| matches!(r.op, HistoryOp::DeqOk(_)))
+            .count();
+        let deq_empty = rec
+            .ops
+            .iter()
+            .filter(|r| r.op == HistoryOp::DeqEmpty)
+            .count();
+        assert_eq!((enqs, deq_ok, deq_empty), (3, 3, 1));
+        // Records of one batch share the call's interval.
+        assert_eq!(rec.ops[0].invoked, rec.ops[1].invoked);
+        assert_eq!(rec.ops[0].returned, rec.ops[2].returned);
+        // And the expanded history is linearizable.
+        assert!(crate::check_fifo(&rec).is_ok());
+    }
+
+    #[test]
+    fn full_batch_dequeue_records_no_empty() {
+        let q = LockQueue(Mutex::new(VecDeque::new()));
+        let scripts = vec![vec![
+            Completed::EnqBatch(vec![7, 8]),
+            Completed::DeqBatch(2),
+        ]];
+        let rec = record(&q, &scripts);
+        assert_eq!(rec.ops.len(), 4, "no shortfall: no DeqEmpty record");
+        assert!(rec.ops.iter().all(|r| r.op != HistoryOp::DeqEmpty));
+    }
+
+    #[test]
     fn sequential_script_produces_disjoint_intervals() {
         let q = LockQueue(Mutex::new(VecDeque::new()));
-        let rec = record(&q, &[vec![Completed::Enq(1), Completed::Enq(2), Completed::Deq]]);
+        let rec = record(
+            &q,
+            &[vec![Completed::Enq(1), Completed::Enq(2), Completed::Deq]],
+        );
         for w in rec.ops.windows(2) {
             assert!(w[0].returned < w[1].invoked);
         }

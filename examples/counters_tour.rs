@@ -30,7 +30,10 @@ fn profile<Q: ConcurrentQueue>(queue: &Q, ops_label: &str) {
     let ops = 2 * PAIRS;
 
     println!("── {} ({ops_label}) ──", queue.name());
-    println!("  atomic ops/op : {:.3}", d.atomic_ops() as f64 / ops as f64);
+    println!(
+        "  atomic ops/op : {:.3}",
+        d.atomic_ops() as f64 / ops as f64
+    );
     for (name, event) in [
         ("F&A (LOCK XADD)", Event::Faa),
         ("SWAP (XCHG)", Event::Swap),
@@ -55,7 +58,10 @@ fn profile<Q: ConcurrentQueue>(queue: &Q, ops_label: &str) {
 
 fn main() {
     println!("per-operation atomic-instruction profile (cf. paper Tables 2/3)\n");
-    profile(&Lcrq::new(), "F&A spreads threads; CAS2 never contended solo");
+    profile(
+        &Lcrq::new(),
+        "F&A spreads threads; CAS2 never contended solo",
+    );
     profile(&CcQueue::new(), "one SWAP per op; combiner does the rest");
     profile(&MsQueue::new(), "CAS on head/tail; 1.5 RMW/op uncontended");
 

@@ -81,18 +81,14 @@ fn main() {
             let inq = Arc::clone(&stage1);
             let outq = Arc::clone(&stage2);
             let upstream = Arc::clone(&producing);
-            std::thread::spawn(move || loop {
-                match recv(&inq, &upstream) {
-                    Some(ev) => {
-                        let value = ev
-                            .payload
-                            .strip_prefix("value=")
-                            .and_then(|v| v.parse().ok())
-                            .expect("well-formed payload");
-                        outq.enqueue(Parsed { id: ev.id, value });
-                    }
-
-                    None => break,
+            std::thread::spawn(move || {
+                while let Some(ev) = recv(&inq, &upstream) {
+                    let value = ev
+                        .payload
+                        .strip_prefix("value=")
+                        .and_then(|v| v.parse().ok())
+                        .expect("well-formed payload");
+                    outq.enqueue(Parsed { id: ev.id, value });
                 }
             })
         })
@@ -104,14 +100,16 @@ fn main() {
             let inq = Arc::clone(&stage2);
             let outq = Arc::clone(&stage3);
             let upstream = Arc::clone(&parsing);
-            std::thread::spawn(move || loop {
-                match recv(&inq, &upstream) {
-                    Some(p) => outq.enqueue(Enriched {
+            std::thread::spawn(move || {
+                while let Some(p) = recv(&inq, &upstream) {
+                    outq.enqueue(Enriched {
                         id: p.id,
-                        bucket: if p.value % 2 == 0 { "even" } else { "odd" },
-                    }),
-
-                    None => break,
+                        bucket: if p.value.is_multiple_of(2) {
+                            "even"
+                        } else {
+                            "odd"
+                        },
+                    });
                 }
             })
         })
@@ -123,20 +121,14 @@ fn main() {
         let upstream = Arc::clone(&enriching);
         std::thread::spawn(move || {
             let (mut even, mut odd, mut id_sum, mut count) = (0u64, 0u64, 0u64, 0u64);
-            loop {
-                match recv(&inq, &upstream) {
-                    Some(e) => {
-                        if e.bucket == "even" {
-                            even += 1;
-                        } else {
-                            odd += 1;
-                        }
-                        id_sum = id_sum.wrapping_add(e.id);
-                        count += 1;
-                    }
-
-                    None => break,
+            while let Some(e) = recv(&inq, &upstream) {
+                if e.bucket == "even" {
+                    even += 1;
+                } else {
+                    odd += 1;
                 }
+                id_sum = id_sum.wrapping_add(e.id);
+                count += 1;
             }
             (even, odd, id_sum, count)
         })

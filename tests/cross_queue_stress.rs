@@ -63,6 +63,87 @@ fn burst_then_drain_every_kind() {
 }
 
 #[test]
+fn batch_model_check_every_kind_against_vecdeque() {
+    // Mixed scalar/batch operation sequences: the LCRQ variants run their
+    // native multi-slot reservation paths; every other registry queue runs
+    // the trait's default scalar-loop batches. Both must match the model.
+    for &k in ALL_KINDS {
+        let q = make_queue(k, 10, 2);
+        testing::batch_model_check(&q, 0xFACE ^ k.name().len() as u64);
+    }
+}
+
+#[test]
+fn mpmc_batch_stress_every_kind() {
+    for &k in ALL_KINDS {
+        let q = make_queue(k, 12, 2);
+        testing::mpmc_batch_stress(&q, 3, 3, 3_000, 16);
+    }
+}
+
+#[test]
+fn mpmc_batch_stress_lcrq_variants_with_tiny_rings() {
+    // Ring-close-mid-batch is the tentpole's trickiest path: R = 8 with
+    // batches of 16 forces every reservation to overrun and spill its
+    // remainder into a freshly appended seeded ring.
+    for kind in [QueueKind::Lcrq, QueueKind::LcrqCas, QueueKind::LcrqH] {
+        let q = make_queue(kind, 3, 2); // R = 8
+        testing::mpmc_batch_stress(&q, 3, 3, 3_000, 16);
+    }
+}
+
+#[test]
+fn batch_and_scalar_cross_product_lcrq() {
+    // Scalar producers with batch consumers and vice versa, across scalar
+    // and tiny rings: the two APIs must interoperate on one queue.
+    for kind in [QueueKind::Lcrq, QueueKind::LcrqCas] {
+        for ring_order in [3u32, 10] {
+            let q = make_queue(kind, ring_order, 2);
+            let q = &q;
+            let total = 4_000u64;
+            // Batch producer / scalar consumer.
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let mut i = 0u64;
+                    while i < total {
+                        let n = 16.min(total - i);
+                        let vals: Vec<u64> = (i..i + n).collect();
+                        q.enqueue_batch(&vals);
+                        i += n;
+                    }
+                });
+                let mut expect = 0u64;
+                while expect < total {
+                    if let Some(v) = q.dequeue() {
+                        assert_eq!(v, expect, "single consumer must see FIFO");
+                        expect += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            // Scalar producer / batch consumer.
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    for i in 0..total {
+                        q.enqueue(i);
+                    }
+                });
+                let mut got = Vec::new();
+                while (got.len() as u64) < total {
+                    if q.dequeue_batch(&mut got, 16) == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                let expect: Vec<u64> = (0..total).collect();
+                assert_eq!(got, expect, "single batch consumer must see FIFO");
+            });
+            assert_eq!(q.dequeue(), None);
+        }
+    }
+}
+
+#[test]
 fn alternating_empty_nonempty_every_kind() {
     // Hammers the EMPTY path (empty transitions + fixState for CRQ-based
     // queues) interleaved with successful operations.

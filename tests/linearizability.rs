@@ -43,6 +43,66 @@ fn check_kind(kind: QueueKind, rounds: u64) {
     }
 }
 
+/// Randomized scripts mixing scalar and batch steps. Batches are small
+/// (2–4 items) so the expanded histories stay exhaustively checkable.
+fn batch_scripts(seed: u64, threads: usize, ops: usize) -> Vec<Vec<Completed>> {
+    let mut rng = lcrq::util::XorShift64Star::new(seed);
+    (0..threads)
+        .map(|t| {
+            (0..ops)
+                .map(|i| {
+                    let base = ((t as u64) << 32) | ((i as u64) << 8);
+                    match rng.next_below(4) {
+                        0 => Completed::Enq(base),
+                        1 => Completed::Deq,
+                        2 => {
+                            let n = 2 + rng.next_below(3);
+                            Completed::EnqBatch((0..n).map(|j| base | j).collect())
+                        }
+                        _ => Completed::DeqBatch(2 + rng.next_below(3) as usize),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn check_kind_batched(kind: QueueKind, ring_order: u32, rounds: u64) {
+    for seed in 0..rounds {
+        let q = make_queue(kind, ring_order, 2);
+        let rec = record(&q, &batch_scripts(seed * 13 + 3, 3, 3));
+        if let Err(e) = check_fifo(&rec) {
+            panic!(
+                "{}: batch seed {seed} produced a non-linearizable history: {e}\n{:#?}",
+                kind.name(),
+                rec.ops
+            );
+        }
+    }
+}
+
+#[test]
+fn lcrq_batch_histories_are_linearizable() {
+    // R = 16: batches fit; exercises the multi-slot reservation fast path.
+    check_kind_batched(QueueKind::Lcrq, 4, 30);
+}
+
+#[test]
+fn lcrq_batch_histories_with_ring_close_mid_batch_are_linearizable() {
+    // R = 4 with batches up to 4: reservations regularly overrun the ring,
+    // closing it mid-batch and spilling the remainder into a fresh seeded
+    // ring — the tentpole's trickiest linearizability case.
+    check_kind_batched(QueueKind::Lcrq, 2, 30);
+    check_kind_batched(QueueKind::LcrqCas, 2, 20);
+}
+
+#[test]
+fn default_batch_impl_histories_are_linearizable() {
+    // A queue without a native batch path runs the trait's scalar-loop
+    // defaults; its histories must check out the same way.
+    check_kind_batched(QueueKind::Ms, 4, 20);
+}
+
 #[test]
 fn lcrq_histories_are_linearizable() {
     check_kind(QueueKind::Lcrq, 40);
@@ -141,6 +201,8 @@ fn crq_histories_satisfy_the_tantrum_specification() {
                                 Some(v) => HistoryOp::DeqOk(v),
                                 None => HistoryOp::DeqEmpty,
                             },
+                            // scripts() only emits scalar steps.
+                            _ => unreachable!("batch steps not used here"),
                         };
                         let returned = clock.fetch_add(1, Ordering::SeqCst);
                         local.push(lcrq_verify::OpRecord {

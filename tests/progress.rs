@@ -2,7 +2,7 @@
 //! and robustness to adversarial scheduling.
 
 use lcrq::util::adversary;
-use lcrq::{ConcurrentQueue, Lcrq, LcrqConfig};
+use lcrq::{Lcrq, LcrqConfig};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -64,7 +64,10 @@ fn dequeues_make_progress_under_enqueue_pressure() {
         stop.store(true, Ordering::Relaxed);
         got
     });
-    assert!(got > 1_000, "dequeuer should make steady progress, got {got}");
+    assert!(
+        got > 1_000,
+        "dequeuer should make steady progress, got {got}"
+    );
 }
 
 /// Under heavy injected preemption, the nonblocking queues must still
@@ -101,7 +104,11 @@ fn lcrq_completes_under_adversarial_preemption() {
 /// appending fresh rings (bounded only by memory), never deadlocking.
 #[test]
 fn tiny_rings_never_wedge_the_queue() {
-    let q = Lcrq::with_config(LcrqConfig::new().with_ring_order(1).with_starvation_limit(4));
+    let q = Lcrq::with_config(
+        LcrqConfig::new()
+            .with_ring_order(1)
+            .with_starvation_limit(4),
+    );
     let q = &q;
     std::thread::scope(|s| {
         for t in 0..4u64 {

@@ -16,8 +16,7 @@ impl Drop for DropCounter {
 #[test]
 fn typed_values_drop_exactly_once_through_ring_churn() {
     let drops = Arc::new(AtomicUsize::new(0));
-    let q: TypedLcrq<DropCounter> =
-        TypedLcrq::with_config(LcrqConfig::new().with_ring_order(2)); // R = 4
+    let q: TypedLcrq<DropCounter> = TypedLcrq::with_config(LcrqConfig::new().with_ring_order(2)); // R = 4
     const N: usize = 5_000;
     for _ in 0..N {
         q.enqueue(DropCounter(Arc::clone(&drops)));
