@@ -17,10 +17,39 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> cargo test -p lcrq-channel -q (channel gate)"
+cargo test -p lcrq-channel -q
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
+
+# ThreadSanitizer job (allowed-to-warn): needs a nightly toolchain with
+# rust-src for -Zbuild-std. Skipped silently when unavailable; when it does
+# run, reported data races FAIL the build — all other TSan noise (e.g.
+# unsupported-platform warnings) is tolerated.
+if rustup toolchain list 2>/dev/null | grep -q nightly &&
+    rustup component list --toolchain nightly 2>/dev/null |
+        grep -q 'rust-src (installed)'; then
+    echo "==> TSan (nightly, allowed-to-warn except data races)"
+    tsan_log=$(mktemp)
+    if ! RUSTFLAGS="-Zsanitizer=thread" RUST_TEST_THREADS=1 \
+        cargo +nightly test -Zbuild-std \
+        --target x86_64-unknown-linux-gnu \
+        -p lcrq-channel -p lcrq-core -q >"$tsan_log" 2>&1; then
+        echo "TSan run did not pass cleanly (tolerated unless races follow)"
+    fi
+    if grep -q "WARNING: ThreadSanitizer: data race" "$tsan_log"; then
+        echo "TSan reported data races:"
+        grep -A 20 "WARNING: ThreadSanitizer: data race" "$tsan_log" | head -60
+        rm -f "$tsan_log"
+        exit 1
+    fi
+    rm -f "$tsan_log"
+else
+    echo "==> TSan skipped (nightly toolchain with rust-src not installed)"
+fi
 
 echo "CI OK"

@@ -1,0 +1,131 @@
+//! Typed error values for channel operations.
+//!
+//! Errors that reject a value hand ownership back to the caller (the `T`
+//! payload), mirroring `std::sync::mpsc`: nothing is silently dropped at
+//! the API boundary.
+
+use core::fmt;
+
+/// The channel is closed; `send` returns the undelivered value.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Like std::sync::mpsc::SendError: don't require T: Debug.
+        f.debug_struct("SendError").finish_non_exhaustive()
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a closed channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// A `try_send` failed; the value comes back in either variant.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// A bounded channel is at capacity.
+    Full(T),
+    /// The channel is closed.
+    Closed(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            Self::Full(v) | Self::Closed(v) => v,
+        }
+    }
+
+    /// Whether this is the [`Full`](Self::Full) variant.
+    pub fn is_full(&self) -> bool {
+        matches!(self, Self::Full(_))
+    }
+
+    /// Whether this is the [`Closed`](Self::Closed) variant.
+    pub fn is_closed(&self) -> bool {
+        matches!(self, Self::Closed(_))
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Like SendError: don't require T: Debug.
+        match self {
+            Self::Full(_) => write!(f, "Full(..)"),
+            Self::Closed(_) => write!(f, "Closed(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Full(_) => write!(f, "sending on a full channel"),
+            Self::Closed(_) => write!(f, "sending on a closed channel"),
+        }
+    }
+}
+
+impl<T> std::error::Error for TrySendError<T> {}
+
+/// A blocking `recv` failed: the channel is closed **and** drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// All senders are gone (or `close` was called) and every remaining
+    /// item has been received.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on a closed and drained channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// A `try_recv` found no item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is empty right now but senders remain.
+    Empty,
+    /// The channel is closed and drained (terminal).
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "receiving on an empty channel"),
+            Self::Disconnected => write!(f, "receiving on a closed and drained channel"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// A `recv_timeout` failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No item arrived within the timeout.
+    Timeout,
+    /// The channel is closed and drained (terminal).
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout => write!(f, "timed out receiving on an empty channel"),
+            Self::Disconnected => write!(f, "receiving on a closed and drained channel"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}

@@ -1,0 +1,42 @@
+//! A combined wait queue: blocking waiters (threads parked on an
+//! [`EventCount`]) and async waiters (futures parked in a
+//! [`WakerRegistry`]) on one condition, notified together.
+//!
+//! A producer cannot know whether the consumer it is about to unblock is a
+//! thread or a future, so each notify fans out to both sides. A spurious
+//! notification to the wrong side is harmless — both protocols re-poll the
+//! real condition on wakeup — while a missed one would hang a consumer, so
+//! the fan-out errs on the side of waking.
+
+use lcrq_util::parker::EventCount;
+
+use crate::waker::WakerRegistry;
+
+/// Waiters for one condition of the channel ("not empty" / "not full").
+pub(crate) struct WaitQueue {
+    /// Blocking-side waiters (`send`/`recv`/`recv_timeout`).
+    pub(crate) evc: EventCount,
+    /// Async-side waiters (`send_async`/`recv_async`/`poll_recv`).
+    pub(crate) wakers: WakerRegistry,
+}
+
+impl WaitQueue {
+    pub(crate) fn new() -> Self {
+        Self {
+            evc: EventCount::new(),
+            wakers: WakerRegistry::new(),
+        }
+    }
+
+    /// Wakes one waiter on each side (one item's worth of wake tokens).
+    pub(crate) fn notify_one(&self) {
+        self.evc.notify_one();
+        self.wakers.wake_one();
+    }
+
+    /// Wakes every waiter on both sides (shutdown, batch production).
+    pub(crate) fn notify_all(&self) {
+        self.evc.notify_all();
+        self.wakers.wake_all();
+    }
+}

@@ -1,0 +1,369 @@
+//! An MPMC waker registry: the async analogue of the event count.
+//!
+//! Each pending future parks its [`Waker`] here (a boxed entry published
+//! into a fixed array of atomic slots, spilling into a mutex-protected
+//! overflow list under extreme fan-in). Producers wake one or all entries.
+//! Three parties can race over one entry — the registering future
+//! (deregister on drop/completion), a producer's `wake_one` (consumes the
+//! entry), and a closer's `wake_all` (reads it in place) — so entries are
+//! reclaimed exclusively through a hazard-pointer [`Domain`]: readers
+//! protect the slot before dereferencing and whoever *removes* an entry
+//! retires it, never frees it directly.
+//!
+//! Slot reuse cannot misdirect a deregistration (the classic ABA: an
+//! entry's box is freed, the allocator reuses the address for a different
+//! future's entry in the same slot): every entry carries a process-unique
+//! `id`, and deregistration only removes the slot's current entry after
+//! reading — under hazard protection — that its id matches.
+
+use core::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use core::task::Waker;
+use std::sync::Mutex;
+
+use lcrq_hazard::Domain;
+
+/// Number of direct (lock-free) waker slots; the 33rd concurrent pending
+/// future on one wait queue spills into the overflow list.
+const WAKER_SLOTS: usize = 32;
+
+/// Hazard slot index used for entry reads (the registry owns a private
+/// [`Domain`], so this never collides with the queue's slots).
+const HP_SLOT: usize = 0;
+
+struct Entry {
+    /// Process-unique registration id (ABA guard, see module docs).
+    id: u64,
+    waker: Waker,
+}
+
+/// A handle to a registered waker; consumed by
+/// [`WakerRegistry::deregister`]. Dropping it without deregistering leaks
+/// the registration until a `wake_one` consumes it (safe, but wasteful).
+#[derive(Debug)]
+pub(crate) enum Registration {
+    /// Registered in direct slot `idx`.
+    Slot { idx: usize, id: u64 },
+    /// Registered in the overflow list.
+    Overflow { id: u64 },
+}
+
+/// Registry of wakers for futures pending on one condition ("not empty" or
+/// "not full"). See the module docs for the reclamation protocol.
+pub(crate) struct WakerRegistry {
+    slots: [AtomicPtr<Entry>; WAKER_SLOTS],
+    overflow: Mutex<Vec<(u64, Waker)>>,
+    next_id: AtomicU64,
+    /// Live registrations (slots + overflow); `wake_*` with zero registered
+    /// is a single load — the producer fast path.
+    registered: AtomicUsize,
+    domain: Domain,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl WakerRegistry {
+    pub(crate) fn new() -> Self {
+        Self {
+            slots: [const { AtomicPtr::new(core::ptr::null_mut()) }; WAKER_SLOTS],
+            overflow: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            registered: AtomicUsize::new(0),
+            domain: Domain::new(),
+        }
+    }
+
+    /// Registers a clone of `waker`. The caller must re-poll its condition
+    /// *after* this returns (the registration is the async analogue of
+    /// `EventCount::prepare`; the re-poll closes the lost-wakeup window).
+    pub(crate) fn register(&self, waker: &Waker) -> Registration {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let entry = Box::into_raw(Box::new(Entry {
+            id,
+            waker: waker.clone(),
+        }));
+        for idx in 0..WAKER_SLOTS {
+            if self.slots[idx]
+                .compare_exchange(
+                    core::ptr::null_mut(),
+                    entry,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                self.registered.fetch_add(1, Ordering::SeqCst);
+                return Registration::Slot { idx, id };
+            }
+        }
+        // All direct slots taken: spill into the overflow list.
+        // SAFETY: the entry was never published; we still own it.
+        drop(unsafe { Box::from_raw(entry) });
+        lock(&self.overflow).push((id, waker.clone()));
+        self.registered.fetch_add(1, Ordering::SeqCst);
+        Registration::Overflow { id }
+    }
+
+    /// Removes a registration if it is still present (a concurrent
+    /// `wake_one` may already have consumed it — that is a no-op here).
+    pub(crate) fn deregister(&self, reg: Registration) {
+        match reg {
+            Registration::Slot { idx, id } => loop {
+                let cur = self.domain.protect(HP_SLOT, &self.slots[idx]);
+                if cur.is_null() {
+                    break; // consumed by a wake_one
+                }
+                // SAFETY: hazard-protected; entries are only freed through
+                // `domain.retire`, so `cur` is live while protected.
+                if unsafe { (*cur).id } != id {
+                    break; // slot reused by another future: ours is gone
+                }
+                if self.slots[idx]
+                    .compare_exchange(
+                        cur,
+                        core::ptr::null_mut(),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+                {
+                    self.registered.fetch_sub(1, Ordering::SeqCst);
+                    // SAFETY: we removed `cur` from the only shared
+                    // location; hazard retirement defers the free past any
+                    // concurrent `wake_all` reader.
+                    unsafe { self.domain.retire(cur) };
+                    break;
+                }
+                // CAS failure: a wake_one swapped it out between our read
+                // and the CAS; loop to confirm via the null/id checks.
+            },
+            Registration::Overflow { id } => {
+                let mut overflow = lock(&self.overflow);
+                if let Some(pos) = overflow.iter().position(|(eid, _)| *eid == id) {
+                    overflow.swap_remove(pos);
+                    self.registered.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+        self.domain.clear(HP_SLOT);
+    }
+
+    /// Consumes and wakes one registered waker, if any. One call per item
+    /// produced: each wake token lets one future re-poll.
+    pub(crate) fn wake_one(&self) {
+        if self.registered.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        for slot in &self.slots {
+            let entry = slot.swap(core::ptr::null_mut(), Ordering::SeqCst);
+            if entry.is_null() {
+                continue;
+            }
+            self.registered.fetch_sub(1, Ordering::SeqCst);
+            // SAFETY: the swap removed `entry` from the shared slot, so we
+            // are its unique owner (deregister lost any racing CAS); a
+            // concurrent `wake_all` may still be reading it under hazard
+            // protection, hence retire instead of drop.
+            unsafe {
+                (*entry).waker.wake_by_ref();
+                self.domain.retire(entry);
+            }
+            return;
+        }
+        let waker = {
+            let mut overflow = lock(&self.overflow);
+            overflow.pop().inspect(|_| {
+                self.registered.fetch_sub(1, Ordering::SeqCst);
+            })
+        };
+        if let Some((_, waker)) = waker {
+            waker.wake();
+        }
+    }
+
+    /// Wakes every registered waker **without consuming registrations**:
+    /// used at shutdown, when every pending future must re-poll and observe
+    /// the closed channel. Futures deregister themselves on completion.
+    pub(crate) fn wake_all(&self) {
+        if self.registered.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        for slot in &self.slots {
+            let entry = self.domain.protect(HP_SLOT, slot);
+            if entry.is_null() {
+                continue;
+            }
+            // SAFETY: hazard-protected (see deregister).
+            unsafe { (*entry).waker.wake_by_ref() };
+        }
+        self.domain.clear(HP_SLOT);
+        for (_, waker) in lock(&self.overflow).iter() {
+            waker.wake_by_ref();
+        }
+    }
+
+    /// Number of live registrations (diagnostic; racy).
+    #[cfg(test)]
+    pub(crate) fn registered_count(&self) -> usize {
+        self.registered.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for WakerRegistry {
+    fn drop(&mut self) {
+        // Exclusive access: free any entries still registered. Entries
+        // retired earlier are freed when `domain` drops.
+        for slot in &self.slots {
+            let entry = slot.swap(core::ptr::null_mut(), Ordering::SeqCst);
+            if !entry.is_null() {
+                // SAFETY: exclusive access in drop; never retired (it was
+                // still in its slot).
+                drop(unsafe { Box::from_raw(entry) });
+            }
+        }
+    }
+}
+
+// SAFETY: entries hold `Waker`s (Send + Sync); all shared state is atomic
+// or mutex-protected, and the hazard domain serializes reclamation.
+unsafe impl Send for WakerRegistry {}
+unsafe impl Sync for WakerRegistry {}
+
+// SAFETY: a Registration is an index + id ticket; it carries no reference
+// to the entry itself and may be redeemed from any thread.
+unsafe impl Send for Registration {}
+unsafe impl Sync for Registration {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::Arc;
+    use std::task::Wake;
+
+    struct CountingWake(StdAtomicUsize);
+
+    impl Wake for CountingWake {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn counting_waker() -> (Arc<CountingWake>, Waker) {
+        let w = Arc::new(CountingWake(StdAtomicUsize::new(0)));
+        (Arc::clone(&w), Waker::from(Arc::clone(&w)))
+    }
+
+    #[test]
+    fn wake_one_consumes_a_registration() {
+        let reg = WakerRegistry::new();
+        let (counter, waker) = counting_waker();
+        let r = reg.register(&waker);
+        assert_eq!(reg.registered_count(), 1);
+        reg.wake_one();
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
+        assert_eq!(reg.registered_count(), 0);
+        reg.wake_one(); // nothing left: no-op
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
+        reg.deregister(r); // already consumed: no-op, no double free
+    }
+
+    #[test]
+    fn deregister_prevents_wake() {
+        let reg = WakerRegistry::new();
+        let (counter, waker) = counting_waker();
+        let r = reg.register(&waker);
+        reg.deregister(r);
+        assert_eq!(reg.registered_count(), 0);
+        reg.wake_one();
+        assert_eq!(counter.0.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn wake_all_leaves_registrations_in_place() {
+        let reg = WakerRegistry::new();
+        let (c1, w1) = counting_waker();
+        let (c2, w2) = counting_waker();
+        let r1 = reg.register(&w1);
+        let r2 = reg.register(&w2);
+        reg.wake_all();
+        assert_eq!(c1.0.load(Ordering::SeqCst), 1);
+        assert_eq!(c2.0.load(Ordering::SeqCst), 1);
+        assert_eq!(reg.registered_count(), 2, "wake_all must not consume");
+        reg.wake_all();
+        assert_eq!(c1.0.load(Ordering::SeqCst), 2);
+        reg.deregister(r1);
+        reg.deregister(r2);
+        assert_eq!(reg.registered_count(), 0);
+    }
+
+    #[test]
+    fn overflow_spill_and_all_paths_work_past_32_registrations() {
+        let reg = WakerRegistry::new();
+        let wakers: Vec<_> = (0..40).map(|_| counting_waker()).collect();
+        let regs: Vec<_> = wakers.iter().map(|(_, w)| reg.register(w)).collect();
+        assert_eq!(reg.registered_count(), 40);
+        assert!(regs
+            .iter()
+            .any(|r| matches!(r, Registration::Overflow { .. })));
+        reg.wake_all();
+        let woken: usize = wakers.iter().map(|(c, _)| c.0.load(Ordering::SeqCst)).sum();
+        assert_eq!(woken, 40);
+        for _ in 0..40 {
+            reg.wake_one();
+        }
+        assert_eq!(reg.registered_count(), 0);
+        // Deregistering consumed registrations is a no-op.
+        for r in regs {
+            reg.deregister(r);
+        }
+    }
+
+    #[test]
+    fn dropping_registry_with_live_registrations_is_clean() {
+        let reg = WakerRegistry::new();
+        let (_c, waker) = counting_waker();
+        let _r1 = reg.register(&waker);
+        let _r2 = reg.register(&waker);
+        drop(reg); // must free the two live entries
+    }
+
+    #[test]
+    fn concurrent_register_wake_deregister_stress() {
+        let reg = Arc::new(WakerRegistry::new());
+        let total_wakes = Arc::new(StdAtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let reg = Arc::clone(&reg);
+                let total = Arc::clone(&total_wakes);
+                s.spawn(move || {
+                    for i in 0..2_000 {
+                        let w = Arc::new(CountingWake(StdAtomicUsize::new(0)));
+                        let waker = Waker::from(Arc::clone(&w));
+                        let r = reg.register(&waker);
+                        if i % 2 == 0 {
+                            reg.deregister(r);
+                        } else {
+                            reg.wake_one();
+                            reg.deregister(r);
+                        }
+                        total.fetch_add(w.0.load(Ordering::SeqCst), Ordering::SeqCst);
+                    }
+                });
+            }
+            let reg2 = Arc::clone(&reg);
+            s.spawn(move || {
+                for _ in 0..1_000 {
+                    reg2.wake_all();
+                    std::hint::spin_loop();
+                }
+            });
+        });
+        // All registrations were deregistered or consumed; none leak.
+        assert_eq!(reg.registered_count(), 0);
+    }
+}

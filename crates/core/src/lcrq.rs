@@ -13,7 +13,7 @@
 //! in a finite number of enqueuer steps (closing + linking always succeeds
 //! for someone), and likewise for dequeues.
 
-use core::sync::atomic::{AtomicPtr, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 
 use lcrq_atomic::{ops, CasLoopFaa, FaaPolicy, HardwareFaa};
 use lcrq_hazard::Domain;
@@ -47,6 +47,9 @@ pub struct LcrqGeneric<P: FaaPolicy> {
     tail: CachePadded<AtomicPtr<Crq<P>>>,
     domain: Domain,
     config: LcrqConfig,
+    /// Queue-level shutdown flag (see [`close`](Self::close)). Distinct from
+    /// per-ring tantrum closes, which only redirect enqueuers to a new ring.
+    closed: AtomicBool,
 }
 
 /// Hazard slot used for the CRQ an operation is about to access.
@@ -66,6 +69,7 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
             tail: CachePadded::new(AtomicPtr::new(first)),
             domain: Domain::new(),
             config,
+            closed: AtomicBool::new(false),
         }
     }
 
@@ -101,9 +105,29 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
     }
 
     /// Appends `value` (must be `< BOTTOM`). Figure 5c.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue has been [`close`](Self::close)d; use
+    /// [`try_enqueue`](Self::try_enqueue) when shutdown is possible.
     pub fn enqueue(&self, value: u64) {
+        if self.try_enqueue(value).is_err() {
+            panic!("enqueue on a closed Lcrq (use try_enqueue to handle shutdown)");
+        }
+    }
+
+    /// Appends `value` (must be `< BOTTOM`) unless the queue has been
+    /// [`close`](Self::close)d, in which case the value is handed back as
+    /// `Err(value)`. This is the Figure 5c enqueue with a shutdown fence:
+    /// the closed flag is checked at the top of each attempt *and* again
+    /// after finding the tail ring tantrum-closed, so no enqueuer can
+    /// append a fresh ring to a closed queue.
+    pub fn try_enqueue(&self, value: u64) -> Result<(), u64> {
         assert!(value != BOTTOM, "BOTTOM (u64::MAX) is reserved");
         loop {
+            if self.closed.load(Ordering::SeqCst) {
+                return Err(value);
+            }
             let crq = self.domain.protect(HP_SLOT, &self.tail);
             // SAFETY: `crq` is hazard-protected, so it cannot be reclaimed
             // while we use it.
@@ -117,15 +141,22 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
             self.cluster_gate(crq_ref);
             if crq_ref.enqueue(value).is_ok() {
                 self.domain.clear(HP_SLOT);
-                return;
+                return Ok(());
             }
-            // Ring closed: race to append a fresh ring seeded with value.
+            // Ring closed. Shutdown close and tantrum close look the same at
+            // ring level — distinguish them here: if the *queue* is closed,
+            // fail instead of appending a fresh ring past the fence.
+            if self.closed.load(Ordering::SeqCst) {
+                self.domain.clear(HP_SLOT);
+                return Err(value);
+            }
+            // Tantrum: race to append a fresh ring seeded with value.
             let newring = Box::into_raw(Box::new(Crq::<P>::with_seed(&self.config, Some(value))));
             match ops::ptr::cas_ptr(&crq_ref.next, core::ptr::null_mut(), newring) {
                 Ok(()) => {
                     let _ = ops::ptr::cas_ptr(&self.tail, crq, newring);
                     self.domain.clear(HP_SLOT);
-                    return;
+                    return Ok(());
                 }
                 Err(_) => {
                     // Another enqueuer linked first; ours was never shared.
@@ -134,6 +165,48 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
                 }
             }
         }
+    }
+
+    /// Closes the queue for further enqueues: every subsequent
+    /// [`try_enqueue`](Self::try_enqueue) fails and [`enqueue`](Self::enqueue)
+    /// panics, while dequeues continue to drain what was already placed.
+    /// Returns `true` on the first call, `false` if already closed.
+    ///
+    /// Implementation: a queue-level flag is raised first, then the tail
+    /// ring chain is tantrum-closed ([`Crq`] `CLOSED` bit) so that enqueuers
+    /// already past the flag check are diverted into the "ring closed" path,
+    /// where they re-check the flag and fail instead of linking a new ring.
+    /// An enqueuer that fully completed before the flag was raised is
+    /// unaffected: its item is already linked and stays dequeuable. The
+    /// remaining race — an enqueuer that passed the flag check but has not
+    /// yet placed its item — is bounded: it either lands in a ring we close
+    /// (and fails on re-check) or completes into a linked ring, where the
+    /// item is still drained normally. Either way no item is ever lost or
+    /// double-freed; see DESIGN.md "Channel layer" for the full argument.
+    pub fn close(&self) -> bool {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        // Walk to the end of the chain, closing every ring from the current
+        // tail on, so in-flight enqueuers are fenced no matter which ring
+        // they are working in.
+        loop {
+            let crq = self.domain.protect(HP_SLOT, &self.tail);
+            // SAFETY: hazard-protected.
+            let crq_ref = unsafe { &*crq };
+            crq_ref.close();
+            let next = crq_ref.next.load(Ordering::SeqCst);
+            if next.is_null() {
+                self.domain.clear(HP_SLOT);
+                return true;
+            }
+            let _ = ops::ptr::cas_ptr(&self.tail, crq, next);
+        }
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
     }
 
     /// Removes the oldest value, or `None` when the queue is empty.
@@ -185,12 +258,40 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
     /// append — pre-seeded via [`Crq::with_seed_batch`] so the spill costs
     /// no further F&As — and a concurrent enqueuer may slip between the two
     /// reservations. See DESIGN.md "Batched operations".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue has been [`close`](Self::close)d; use
+    /// [`try_enqueue_batch`](Self::try_enqueue_batch) when shutdown is
+    /// possible (a close racing mid-batch can leave a prefix placed — the
+    /// panic reports nothing was rolled back).
     pub fn enqueue_batch(&self, values: &[u64]) {
+        if let Err(placed) = self.try_enqueue_batch(values) {
+            panic!(
+                "enqueue_batch on a closed Lcrq ({placed}/{} items placed; \
+                 use try_enqueue_batch to handle shutdown)",
+                values.len()
+            );
+        }
+    }
+
+    /// Batch counterpart of [`try_enqueue`](Self::try_enqueue): appends
+    /// every value unless the queue is [`close`](Self::close)d. On shutdown
+    /// `Err(placed)` reports how many leading items of `values` made it into
+    /// the queue before the close was observed (they will be drained by
+    /// receivers like any other items); the remainder `values[placed..]` was
+    /// not enqueued and stays owned by the caller.
+    pub fn try_enqueue_batch(&self, values: &[u64]) -> Result<(), usize> {
         for &v in values {
             assert!(v != BOTTOM, "BOTTOM (u64::MAX) is reserved");
         }
         let mut rest = values;
+        let mut placed_total = 0usize;
         while !rest.is_empty() {
+            if self.closed.load(Ordering::SeqCst) {
+                self.domain.clear(HP_SLOT);
+                return Err(placed_total);
+            }
             let crq = self.domain.protect(HP_SLOT, &self.tail);
             // SAFETY: hazard-protected.
             let crq_ref = unsafe { &*crq };
@@ -201,6 +302,7 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
             }
             self.cluster_gate(crq_ref);
             let placed = crq_ref.enqueue_batch(rest);
+            placed_total += placed;
             rest = &rest[placed..];
             if rest.is_empty() {
                 break;
@@ -209,6 +311,12 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
                 // The reservation ran out of usable slots but the ring is
                 // still open: take a fresh reservation for the remainder.
                 continue;
+            }
+            // Ring closed mid-batch: as in try_enqueue, distinguish queue
+            // shutdown from an ordinary tantrum before linking a new ring.
+            if self.closed.load(Ordering::SeqCst) {
+                self.domain.clear(HP_SLOT);
+                return Err(placed_total);
             }
             // Tantrum mid-batch: spill the remainder (up to one ring's
             // worth) into a fresh ring and race to link it, exactly like
@@ -221,6 +329,7 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
             match ops::ptr::cas_ptr(&crq_ref.next, core::ptr::null_mut(), newring) {
                 Ok(()) => {
                     let _ = ops::ptr::cas_ptr(&self.tail, crq, newring);
+                    placed_total += seed_len;
                     rest = &rest[seed_len..];
                 }
                 Err(_) => {
@@ -231,6 +340,7 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
             }
         }
         self.domain.clear(HP_SLOT);
+        Ok(())
     }
 
     /// Removes up to `max` of the oldest values, appending them to `out` in
@@ -396,6 +506,18 @@ impl<P: FaaPolicy> lcrq_queues::ConcurrentQueue for LcrqGeneric<P> {
     }
     fn is_nonblocking(&self) -> bool {
         true
+    }
+}
+
+impl<P: FaaPolicy> lcrq_queues::ClosableQueue for LcrqGeneric<P> {
+    fn close(&self) -> bool {
+        LcrqGeneric::close(self)
+    }
+    fn is_closed(&self) -> bool {
+        LcrqGeneric::is_closed(self)
+    }
+    fn try_enqueue(&self, value: u64) -> Result<(), u64> {
+        LcrqGeneric::try_enqueue(self, value)
     }
 }
 
@@ -691,6 +813,115 @@ mod tests {
                 last.insert(p, i);
             }
         }
+    }
+
+    #[test]
+    fn close_fences_enqueues_but_drains_existing_items() {
+        let q = Lcrq::with_config(tiny());
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        assert!(!q.is_closed());
+        assert!(q.close(), "first close reports the transition");
+        assert!(q.is_closed());
+        assert!(!q.close(), "second close is a no-op");
+        assert_eq!(q.try_enqueue(777), Err(777));
+        assert_eq!(q.try_enqueue_batch(&[1, 2, 3]), Err(0));
+        // Everything placed before the close drains in order.
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed")]
+    fn enqueue_after_close_panics() {
+        let q = Lcrq::new();
+        q.close();
+        q.enqueue(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed")]
+    fn enqueue_batch_after_close_panics() {
+        let q = Lcrq::new();
+        q.close();
+        q.enqueue_batch(&[1, 2]);
+    }
+
+    #[test]
+    fn close_races_with_producers_without_losing_items() {
+        // Producers try_enqueue until fenced; whatever they successfully
+        // placed must be drained exactly once — no loss, no duplicates.
+        for _ in 0..20 {
+            let q = Lcrq::with_config(tiny());
+            let q = &q;
+            let sent: Vec<Vec<u64>> = std::thread::scope(|s| {
+                let producers: Vec<_> = (0..3u64)
+                    .map(|p| {
+                        s.spawn(move || {
+                            let mut placed = Vec::new();
+                            for i in 0..10_000u64 {
+                                let v = (p << 40) | i;
+                                if q.try_enqueue(v).is_err() {
+                                    break;
+                                }
+                                placed.push(v);
+                            }
+                            placed
+                        })
+                    })
+                    .collect();
+                std::thread::yield_now();
+                q.close();
+                producers.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let mut expected: Vec<u64> = sent.into_iter().flatten().collect();
+            let mut got: Vec<u64> = q.drain().collect();
+            expected.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expected, "close lost or duplicated items");
+        }
+    }
+
+    #[test]
+    fn dequeue_empty_is_never_transient() {
+        // Regression guard for the channel's poll-then-park protocol (the
+        // ISSUE 2 dequeue-empty audit): a queue that provably holds an item
+        // must never report None, even while the head ring is being
+        // exhausted and switched (where the December-2013 erratum
+        // double-check is what prevents a transient-empty report).
+        let q = Lcrq::with_config(tiny()); // R = 8: maximal ring churn
+        for i in 0..5_000u64 {
+            q.enqueue(i);
+            assert_eq!(q.dequeue(), Some(i), "transient empty at item {i}");
+        }
+        // Same property with a standing backlog straddling ring boundaries.
+        for i in 0..64u64 {
+            q.enqueue(i);
+        }
+        for i in 64..5_000u64 {
+            q.enqueue(i);
+            assert!(q.dequeue().is_some(), "transient empty with backlog");
+        }
+        for _ in 0..64 {
+            assert!(q.dequeue().is_some());
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn closable_trait_object_round_trip() {
+        use lcrq_queues::ClosableQueue;
+        let q = Lcrq::with_config(tiny());
+        let q: &dyn ClosableQueue = &q;
+        assert_eq!(q.try_enqueue(9), Ok(()));
+        assert!(q.close());
+        assert!(q.is_closed());
+        assert_eq!(q.try_enqueue(10), Err(10));
+        assert_eq!(q.dequeue(), Some(9));
+        assert_eq!(q.dequeue(), None);
     }
 
     #[test]

@@ -59,6 +59,63 @@ impl<T: Send, P: FaaPolicy> TypedLcrq<T, P> {
         })
     }
 
+    /// Appends `value` unless the queue has been [`close`](Self::close)d,
+    /// in which case ownership is handed back as `Err(value)`.
+    pub fn try_enqueue(&self, value: T) -> Result<(), T> {
+        let raw = Box::into_raw(Box::new(value));
+        debug_assert!((raw as u64) < crate::BOTTOM && !raw.is_null());
+        self.inner.try_enqueue(raw as u64).map_err(|ptr| {
+            // SAFETY: the queue rejected the pointer, so we still own the
+            // box we just created.
+            *unsafe { Box::from_raw(ptr as *mut T) }
+        })
+    }
+
+    /// Batch counterpart of [`try_enqueue`](Self::try_enqueue): appends
+    /// every value of `values` through the raw batch path, or — if the
+    /// queue is closed partway — returns the **unplaced suffix** as
+    /// `Err(remainder)`. Items of the placed prefix are in the queue and
+    /// will be drained by receivers like any others.
+    pub fn try_extend(&self, values: Vec<T>) -> Result<(), Vec<T>> {
+        let ptrs: Vec<u64> = values
+            .into_iter()
+            .map(|value| {
+                let ptr = Box::into_raw(Box::new(value)) as u64;
+                debug_assert!(ptr < crate::BOTTOM && ptr != 0);
+                ptr
+            })
+            .collect();
+        match self.inner.try_enqueue_batch(&ptrs) {
+            Ok(()) => Ok(()),
+            Err(placed) => Err(ptrs[placed..]
+                .iter()
+                .map(|&ptr| {
+                    // SAFETY: slots past `placed` were never enqueued; we
+                    // still own those boxes.
+                    *unsafe { Box::from_raw(ptr as *mut T) }
+                })
+                .collect()),
+        }
+    }
+
+    /// Closes the queue for further enqueues (see [`LcrqGeneric::close`]):
+    /// [`try_enqueue`](Self::try_enqueue) starts failing while dequeues
+    /// drain the remaining items. Returns `true` on the first call.
+    pub fn close(&self) -> bool {
+        self.inner.close()
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.is_closed()
+    }
+
+    /// Whether the queue appears empty (racy snapshot; see
+    /// [`LcrqGeneric::is_empty_hint`]).
+    pub fn is_empty_hint(&self) -> bool {
+        self.inner.is_empty_hint()
+    }
+
     /// Appends every value of `iter` through the raw batch path: all values
     /// are boxed up front, then their addresses enter the queue via
     /// multi-slot reservations ([`LcrqGeneric::enqueue_batch`]) — one
@@ -263,6 +320,48 @@ mod tests {
         assert_eq!(drops.load(Ordering::SeqCst), 20);
         drop(q); // remaining 30 freed by the queue's Drop
         assert_eq!(drops.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn close_returns_ownership_and_drains_in_order() {
+        let q: TypedLcrq<String> = TypedLcrq::new();
+        assert_eq!(q.try_enqueue("a".into()), Ok(()));
+        q.extend(["b".to_string(), "c".to_string()]);
+        assert!(q.close());
+        assert!(q.is_closed());
+        assert!(!q.close());
+        assert_eq!(q.try_enqueue("x".to_string()), Err("x".to_string()));
+        let rejected = q
+            .try_extend(vec!["y".to_string(), "z".to_string()])
+            .unwrap_err();
+        assert_eq!(rejected, vec!["y".to_string(), "z".to_string()]);
+        let drained: Vec<String> = q.drain().collect();
+        assert_eq!(drained, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn rejected_values_drop_exactly_once() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let q: TypedLcrq<Counted> = TypedLcrq::new();
+        q.enqueue(Counted(Arc::clone(&drops)));
+        q.close();
+        // Rejected scalar and batch values come back still owned; dropping
+        // them must free each exactly once.
+        drop(q.try_enqueue(Counted(Arc::clone(&drops))).unwrap_err());
+        let rejected = q
+            .try_extend((0..5).map(|_| Counted(Arc::clone(&drops))).collect())
+            .unwrap_err();
+        assert_eq!(rejected.len(), 5);
+        drop(rejected);
+        assert_eq!(drops.load(Ordering::SeqCst), 6);
+        drop(q); // the one enqueued value freed by the queue's Drop
+        assert_eq!(drops.load(Ordering::SeqCst), 7);
     }
 
     #[test]

@@ -73,6 +73,36 @@ pub trait ConcurrentQueue: Send + Sync {
     fn is_nonblocking(&self) -> bool;
 }
 
+/// A [`ConcurrentQueue`] that supports shutdown: enqueues can be fenced off
+/// while dequeues keep draining what was already placed.
+///
+/// This is the queue-level hook the channel layer builds its close/drop
+/// lifecycle on. The contract:
+///
+/// * After [`close`] returns, every [`try_enqueue`] fails and every
+///   [`ConcurrentQueue::enqueue`] panics. An enqueue that completed before
+///   `close` began is unaffected — its item remains dequeuable.
+/// * Dequeues are never fenced: they drain remaining items and then report
+///   empty as usual. "Closed **and** observed empty" is therefore a stable
+///   terminal state a consumer can act on (no later dequeue will succeed,
+///   modulo enqueuers racing the close itself — see the implementation's
+///   documentation for its straggler bound).
+///
+/// [`close`]: ClosableQueue::close
+/// [`try_enqueue`]: ClosableQueue::try_enqueue
+pub trait ClosableQueue: ConcurrentQueue {
+    /// Fences off all future enqueues. Returns `true` on the first call,
+    /// `false` if the queue was already closed.
+    fn close(&self) -> bool;
+
+    /// Whether [`close`](ClosableQueue::close) has been called.
+    fn is_closed(&self) -> bool;
+
+    /// Appends `value`, or returns it as `Err(value)` if the queue is
+    /// closed.
+    fn try_enqueue(&self, value: u64) -> Result<(), u64>;
+}
+
 impl<Q: ConcurrentQueue + ?Sized> ConcurrentQueue for &Q {
     fn enqueue(&self, value: u64) {
         (**self).enqueue(value)
@@ -133,6 +163,42 @@ impl<Q: ConcurrentQueue + ?Sized> ConcurrentQueue for std::sync::Arc<Q> {
     }
     fn is_nonblocking(&self) -> bool {
         (**self).is_nonblocking()
+    }
+}
+
+impl<Q: ClosableQueue + ?Sized> ClosableQueue for &Q {
+    fn close(&self) -> bool {
+        (**self).close()
+    }
+    fn is_closed(&self) -> bool {
+        (**self).is_closed()
+    }
+    fn try_enqueue(&self, value: u64) -> Result<(), u64> {
+        (**self).try_enqueue(value)
+    }
+}
+
+impl<Q: ClosableQueue + ?Sized> ClosableQueue for Box<Q> {
+    fn close(&self) -> bool {
+        (**self).close()
+    }
+    fn is_closed(&self) -> bool {
+        (**self).is_closed()
+    }
+    fn try_enqueue(&self, value: u64) -> Result<(), u64> {
+        (**self).try_enqueue(value)
+    }
+}
+
+impl<Q: ClosableQueue + ?Sized> ClosableQueue for std::sync::Arc<Q> {
+    fn close(&self) -> bool {
+        (**self).close()
+    }
+    fn is_closed(&self) -> bool {
+        (**self).is_closed()
+    }
+    fn try_enqueue(&self, value: u64) -> Result<(), u64> {
+        (**self).try_enqueue(value)
     }
 }
 

@@ -13,6 +13,7 @@ pub mod backoff;
 pub mod hist;
 pub mod metrics;
 pub mod pad;
+pub mod parker;
 pub mod rng;
 pub mod spin;
 pub mod topology;
@@ -20,5 +21,6 @@ pub mod topology;
 pub use backoff::{set_wait_mode, wait_mode, Backoff, WaitMode};
 pub use hist::LatencyHistogram;
 pub use pad::CachePadded;
+pub use parker::{EventCount, Parker};
 pub use rng::XorShift64Star;
 pub use topology::ClusterTopology;

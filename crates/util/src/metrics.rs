@@ -65,9 +65,18 @@ pub enum Event {
     BatchDequeue,
     /// Items removed through batched dequeue reservations.
     BatchDequeueItems,
+    /// A thread parked (blocked in the kernel) waiting for channel activity.
+    Park,
+    /// A parked thread was woken by a notifier.
+    Unpark,
+    /// A parked thread woke without its wakeup condition holding (spurious
+    /// condvar wakeup or epoch recheck loop iteration).
+    WakeSpurious,
+    /// A channel was closed (sender drop or explicit `close()`).
+    ChannelClosed,
 }
 
-const NUM_EVENTS: usize = Event::BatchDequeueItems as usize + 1;
+const NUM_EVENTS: usize = Event::ChannelClosed as usize + 1;
 
 const EVENT_NAMES: [&str; NUM_EVENTS] = [
     "faa",
@@ -93,6 +102,10 @@ const EVENT_NAMES: [&str; NUM_EVENTS] = [
     "batch_enqueue_items",
     "batch_dequeue",
     "batch_dequeue_items",
+    "park",
+    "unpark",
+    "wake_spurious",
+    "channel_closed",
 ];
 
 thread_local! {
@@ -151,6 +164,21 @@ pub fn snapshot() -> Snapshot {
     Snapshot {
         counts: *GLOBAL.lock().unwrap(),
     }
+}
+
+/// Returns the calling thread's **unflushed local** counters as a snapshot,
+/// without modifying them. Unlike [`snapshot`], this is immune to other
+/// threads flushing into the global aggregate, so a single thread can
+/// bracket a region of its own work (e.g. "this `recv` performed zero F&A
+/// while parked") even while unrelated threads run concurrently.
+pub fn local_snapshot() -> Snapshot {
+    LOCAL.with(|l| {
+        let mut counts = [0u64; NUM_EVENTS];
+        for (c, cell) in counts.iter_mut().zip(l.iter()) {
+            *c = cell.get();
+        }
+        Snapshot { counts }
+    })
 }
 
 impl Snapshot {
@@ -215,6 +243,19 @@ impl Snapshot {
             0.0
         } else {
             self.get(Event::Faa) as f64 / ops as f64
+        }
+    }
+
+    /// Thread parks per completed operation (0.0 when no operations
+    /// completed). For a well-matched channel workload this stays far below
+    /// 1: consumers only park when the queue stays empty past the spin and
+    /// backoff phases.
+    pub fn parks_per_op(&self) -> f64 {
+        let ops = self.total_ops();
+        if ops == 0 {
+            0.0
+        } else {
+            self.get(Event::Park) as f64 / ops as f64
         }
     }
 
@@ -368,6 +409,38 @@ mod tests {
         assert_eq!(s.faa_per_op(), 0.0);
         assert_eq!(s.mean_enqueue_batch(), 0.0);
         assert_eq!(s.mean_dequeue_batch(), 0.0);
+    }
+
+    #[test]
+    fn local_snapshot_reads_without_flushing() {
+        let _g = guard();
+        reset();
+        inc(Event::Park);
+        add(Event::Faa, 3);
+        let local = local_snapshot();
+        assert_eq!(local.get(Event::Park), 1);
+        assert_eq!(local.get(Event::Faa), 3);
+        // Locals were not flushed: global stays empty, locals intact.
+        assert_eq!(snapshot().get(Event::Park), 0);
+        assert_eq!(local_snapshot().get(Event::Faa), 3);
+        // delta_since works on local snapshots for region bracketing.
+        inc(Event::Unpark);
+        let d = local_snapshot().delta_since(&local);
+        assert_eq!(d.get(Event::Unpark), 1);
+        assert_eq!(d.get(Event::Faa), 0);
+        reset();
+    }
+
+    #[test]
+    fn parks_per_op_ratio() {
+        let _g = guard();
+        reset();
+        add(Event::Park, 2);
+        add(Event::DeqOp, 8);
+        flush();
+        let s = snapshot();
+        assert_eq!(s.parks_per_op(), 0.25);
+        assert_eq!(Snapshot::default().parks_per_op(), 0.0);
     }
 
     #[test]

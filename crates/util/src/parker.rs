@@ -1,0 +1,404 @@
+//! Thread parking primitives for the channel layer: a single-thread
+//! [`Parker`] with exactly-one-token semantics and a multi-waiter
+//! [`EventCount`] with a lost-wakeup-free listen/poll/park protocol.
+//!
+//! The LCRQ itself never blocks — an empty dequeue returns immediately —
+//! so any consumer that *waits* for an item must either spin (burning a
+//! fetch-and-add per poll) or park. Parking is only correct if a producer
+//! that enqueues concurrently with the consumer's "last look" is guaranteed
+//! to wake it: the classic lost-wakeup race. [`EventCount`] solves it the
+//! seqlock way — waiters register *before* their final poll and snapshot an
+//! epoch; producers bump the epoch *after* publishing their item and only
+//! then wake sleepers — so the final poll and the epoch check bracket the
+//! race window (see DESIGN.md "Channel layer" for the full argument).
+
+use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::metrics::{self, Event};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A one-thread parking primitive with **exactly-one-token** semantics:
+/// [`unpark`](Parker::unpark) deposits a single token; [`park`](Parker::park)
+/// consumes one token, blocking until one is available. An unpark delivered
+/// before the park is not lost (the token persists), and two unparks before
+/// a park still wake only one park (tokens do not accumulate).
+#[derive(Debug, Default)]
+pub struct Parker {
+    token: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Parker {
+    /// Creates a parker with no token available.
+    pub const fn new() -> Self {
+        Self {
+            token: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a token is available, then consumes it.
+    pub fn park(&self) {
+        let mut token = lock(&self.token);
+        if !*token {
+            metrics::inc(Event::Park);
+            while !*token {
+                token = self.cv.wait(token).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        *token = false;
+    }
+
+    /// Like [`park`](Self::park) but gives up after `timeout`. Returns
+    /// `true` if a token was consumed, `false` on timeout.
+    pub fn park_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut token = lock(&self.token);
+        if !*token {
+            metrics::inc(Event::Park);
+        }
+        while !*token {
+            let now = Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return false;
+            };
+            let (guard, _timed_out) = self
+                .cv
+                .wait_timeout(token, left)
+                .unwrap_or_else(|e| e.into_inner());
+            token = guard;
+        }
+        *token = false;
+        true
+    }
+
+    /// Deposits the token (idempotent while one is pending) and wakes a
+    /// parked thread if any.
+    pub fn unpark(&self) {
+        let mut token = lock(&self.token);
+        if !*token {
+            *token = true;
+            metrics::inc(Event::Unpark);
+            self.cv.notify_one();
+        }
+    }
+}
+
+/// A ticket returned by [`EventCount::prepare`]; consume it with
+/// [`EventCount::wait`]/[`wait_timeout`](EventCount::wait_timeout) or
+/// discard it with [`EventCount::cancel`].
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a prepared wait must be waited on or cancelled"]
+pub struct Ticket {
+    epoch: u64,
+}
+
+/// A multi-waiter event count: the blocking analogue of a condition
+/// variable whose predicate is "the world changed since my ticket".
+///
+/// Protocol (waiter):
+///
+/// 1. [`prepare`](EventCount::prepare) — announce intent to sleep and
+///    snapshot the epoch;
+/// 2. poll the real condition one final time (e.g. try a dequeue) — if it
+///    now holds, [`cancel`](EventCount::cancel);
+/// 3. [`wait`](EventCount::wait) — sleeps **unless** the epoch moved after
+///    the snapshot.
+///
+/// Protocol (notifier): make the condition true (e.g. enqueue), then call
+/// [`notify_one`](EventCount::notify_one)/[`notify_all`](EventCount::notify_all).
+///
+/// No lost wakeup: the waiter registers (SeqCst) before its final poll and
+/// the notifier publishes before loading the waiter count, so either the
+/// final poll sees the item or the notifier sees the waiter (see the module
+/// docs and DESIGN.md "Channel layer" for the interleaving argument).
+#[derive(Debug, Default)]
+pub struct EventCount {
+    /// Bumped by every notify; waiters sleep only while it matches their
+    /// ticket.
+    epoch: AtomicU64,
+    /// Threads between [`prepare`](Self::prepare) and the end of their wait.
+    /// Notifiers skip all locking while this is zero (the common case).
+    waiters: AtomicU32,
+    /// Threads currently inside the condvar (⊆ `waiters`).
+    sleepers: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl EventCount {
+    /// Creates an event count with no waiters.
+    pub const fn new() -> Self {
+        Self {
+            epoch: AtomicU64::new(0),
+            waiters: AtomicU32::new(0),
+            sleepers: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Step 1 of the wait protocol: registers the caller as a waiter and
+    /// snapshots the epoch. Must be balanced by [`wait`](Self::wait),
+    /// [`wait_timeout`](Self::wait_timeout), or [`cancel`](Self::cancel).
+    pub fn prepare(&self) -> Ticket {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        Ticket {
+            epoch: self.epoch.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Abandons a prepared wait (the final poll found the condition true).
+    pub fn cancel(&self, _ticket: Ticket) {
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Step 3: parks until a notify arrives after `ticket` was issued.
+    /// Returns immediately — without a syscall — if one already has.
+    pub fn wait(&self, ticket: Ticket) {
+        let mut sleepers = lock(&self.sleepers);
+        if self.epoch.load(Ordering::SeqCst) != ticket.epoch {
+            drop(sleepers);
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        *sleepers += 1;
+        metrics::inc(Event::Park);
+        while self.epoch.load(Ordering::SeqCst) == ticket.epoch {
+            metrics::inc(Event::WakeSpurious);
+            sleepers = self.cv.wait(sleepers).unwrap_or_else(|e| e.into_inner());
+        }
+        *sleepers -= 1;
+        drop(sleepers);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Like [`wait`](Self::wait) with a timeout. Returns `true` if woken by
+    /// a notify (or the epoch had already moved), `false` on timeout.
+    pub fn wait_timeout(&self, ticket: Ticket, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut sleepers = lock(&self.sleepers);
+        if self.epoch.load(Ordering::SeqCst) != ticket.epoch {
+            drop(sleepers);
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
+            return true;
+        }
+        *sleepers += 1;
+        metrics::inc(Event::Park);
+        let mut notified = true;
+        while self.epoch.load(Ordering::SeqCst) == ticket.epoch {
+            let now = Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                notified = false;
+                break;
+            };
+            metrics::inc(Event::WakeSpurious);
+            let (guard, _timed_out) = self
+                .cv
+                .wait_timeout(sleepers, left)
+                .unwrap_or_else(|e| e.into_inner());
+            sleepers = guard;
+        }
+        *sleepers -= 1;
+        drop(sleepers);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        notified
+    }
+
+    /// Wakes one waiter (one token: a single parked thread resumes). A call
+    /// with no registered waiters is a single atomic load.
+    pub fn notify_one(&self) {
+        if self.waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        let sleepers = lock(&self.sleepers);
+        if *sleepers > 0 {
+            metrics::inc(Event::Unpark);
+            self.cv.notify_one();
+        }
+    }
+
+    /// Wakes every current waiter (used at shutdown).
+    pub fn notify_all(&self) {
+        if self.waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        let sleepers = lock(&self.sleepers);
+        if *sleepers > 0 {
+            metrics::add(Event::Unpark, u64::from(*sleepers));
+            self.cv.notify_all();
+        }
+    }
+
+    /// Current epoch (diagnostic).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Number of registered waiters (diagnostic; racy).
+    pub fn waiter_count(&self) -> u32 {
+        self.waiters.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn parker_token_before_park_is_not_lost() {
+        let p = Parker::new();
+        p.unpark();
+        p.park(); // must not block
+    }
+
+    #[test]
+    fn parker_tokens_do_not_accumulate() {
+        let p = Parker::new();
+        p.unpark();
+        p.unpark();
+        p.park();
+        assert!(!p.park_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn parker_wakes_across_threads() {
+        let p = Arc::new(Parker::new());
+        let p2 = Arc::clone(&p);
+        let h = std::thread::spawn(move || p2.park());
+        std::thread::sleep(Duration::from_millis(20));
+        p.unpark();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn parker_timeout_expires() {
+        let p = Parker::new();
+        let start = Instant::now();
+        assert!(!p.park_timeout(Duration::from_millis(30)));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn eventcount_cancel_balances_waiters() {
+        let e = EventCount::new();
+        let t = e.prepare();
+        assert_eq!(e.waiter_count(), 1);
+        e.cancel(t);
+        assert_eq!(e.waiter_count(), 0);
+    }
+
+    #[test]
+    fn eventcount_notify_after_prepare_prevents_sleep() {
+        let e = EventCount::new();
+        let t = e.prepare();
+        e.notify_one(); // bumps the epoch: wait must return immediately
+        let start = Instant::now();
+        e.wait(t);
+        assert!(start.elapsed() < Duration::from_millis(100));
+        assert_eq!(e.waiter_count(), 0);
+    }
+
+    #[test]
+    fn eventcount_notify_with_no_waiters_is_cheap_and_harmless() {
+        let e = EventCount::new();
+        let before = e.epoch();
+        e.notify_one();
+        e.notify_all();
+        assert_eq!(e.epoch(), before, "no waiters: epoch must not move");
+    }
+
+    #[test]
+    fn eventcount_wakes_parked_thread() {
+        let e = Arc::new(EventCount::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let (e2, flag2) = (Arc::clone(&e), Arc::clone(&flag));
+        let h = std::thread::spawn(move || loop {
+            let t = e2.prepare();
+            if flag2.load(Ordering::SeqCst) {
+                e2.cancel(t);
+                return;
+            }
+            e2.wait(t);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        flag.store(true, Ordering::SeqCst);
+        e.notify_one();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn eventcount_timeout_expires_without_notify() {
+        let e = EventCount::new();
+        let t = e.prepare();
+        let start = Instant::now();
+        assert!(!e.wait_timeout(t, Duration::from_millis(30)));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        assert_eq!(e.waiter_count(), 0);
+    }
+
+    #[test]
+    fn eventcount_notify_all_wakes_every_waiter() {
+        let e = Arc::new(EventCount::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let (e, flag) = (Arc::clone(&e), Arc::clone(&flag));
+                std::thread::spawn(move || loop {
+                    let t = e.prepare();
+                    if flag.load(Ordering::SeqCst) {
+                        e.cancel(t);
+                        return;
+                    }
+                    e.wait(t);
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        flag.store(true, Ordering::SeqCst);
+        e.notify_all();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(e.waiter_count(), 0);
+    }
+
+    #[test]
+    fn eventcount_no_lost_wakeup_stress() {
+        // Producer flips a flag then notifies; consumer uses the full
+        // prepare → poll → wait protocol. A lost wakeup shows up as a
+        // wait_timeout expiry.
+        let e = Arc::new(EventCount::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        for _ in 0..200 {
+            flag.store(false, Ordering::SeqCst);
+            let (e2, flag2) = (Arc::clone(&e), Arc::clone(&flag));
+            let consumer = std::thread::spawn(move || loop {
+                let t = e2.prepare();
+                if flag2.load(Ordering::SeqCst) {
+                    e2.cancel(t);
+                    return true;
+                }
+                if !e2.wait_timeout(t, Duration::from_secs(10)) && !flag2.load(Ordering::SeqCst) {
+                    return false; // lost wakeup!
+                }
+            });
+            flag.store(true, Ordering::SeqCst);
+            e.notify_one();
+            assert!(consumer.join().unwrap(), "lost wakeup detected");
+        }
+    }
+}

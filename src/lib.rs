@@ -30,12 +30,26 @@
 //! assert_eq!(q.dequeue().as_deref(), Some("hello"));
 //! ```
 //!
+//! Blocking channels layer parking, shutdown, and (optional) backpressure
+//! over the same lock-free queue:
+//!
+//! ```
+//! let (tx, rx) = lcrq::channel::channel::<u64>();
+//! std::thread::spawn(move || {
+//!     tx.send(7).unwrap();
+//!     // last Sender dropping closes the channel
+//! });
+//! assert_eq!(rx.recv(), Ok(7));
+//! assert_eq!(rx.recv(), Err(lcrq::channel::RecvError::Disconnected));
+//! ```
+//!
 //! ## Crate map
 //!
 //! | module | contents |
 //! |--------|----------|
 //! | [`core`] (re-exported at the root) | [`Lcrq`], [`LcrqCas`], [`TypedLcrq`], the [`Crq`] ring, the Figure-2 infinite-array queue |
 //! | [`queues`] | baselines: MS queue, two-lock queue, CC-Queue, H-Queue, FC queue; the [`ConcurrentQueue`] trait; stress-test harnesses |
+//! | [`channel`] | blocking & async channel layer over the typed LCRQ: parking receivers, waker registry, shutdown |
 //! | [`combining`] | CC-Synch, H-Synch, flat combining universal constructions |
 //! | [`hazard`] | hazard-pointer reclamation |
 //! | [`atomic`] | 128-bit CAS (`CMPXCHG16B`), counted F&A/SWAP/T&S, the CAS-loop F&A policy |
@@ -44,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub use lcrq_atomic as atomic;
+pub use lcrq_channel as channel;
 pub use lcrq_combining as combining;
 pub use lcrq_core as core;
 pub use lcrq_hazard as hazard;
@@ -53,4 +68,6 @@ pub use lcrq_util as util;
 pub use lcrq_core::{
     Crq, CrqClosed, HierarchicalConfig, Lcrq, LcrqCas, LcrqConfig, LcrqGeneric, TypedLcrq,
 };
-pub use lcrq_queues::{CcQueue, ConcurrentQueue, FcQueue, HQueue, MsQueue, TwoLockQueue};
+pub use lcrq_queues::{
+    CcQueue, ClosableQueue, ConcurrentQueue, FcQueue, HQueue, MsQueue, TwoLockQueue,
+};

@@ -1,0 +1,244 @@
+//! Channel-layer integration tests (ISSUE 2 satellite): linearizability-style
+//! MPMC stress with parking in the loop, no-lost-wakeup stress, timeout
+//! precision, backpressure, batch ordering, and the async API driven by the
+//! crate's own `block_on`.
+//!
+//! Thread counts stay small (this host has one core) but every test funnels
+//! through the full wait ladder — spin, yield, park — because the consumers
+//! genuinely outrun the producers on a single CPU.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use lcrq::channel::{self, block_on, RecvError, RecvTimeoutError, TryRecvError, TrySendError};
+
+/// Tags an item with its producer: per-producer sequence numbers let the
+/// consumers check FIFO order per sender, the property the channel inherits
+/// from the LCRQ (total FIFO) restricted to each sender's subsequence.
+fn tag(producer: u64, seq: u64) -> u64 {
+    (producer << 32) | seq
+}
+
+#[test]
+fn mpmc_stress_no_loss_no_dup_per_sender_fifo() {
+    const PRODUCERS: u64 = 4;
+    const CONSUMERS: usize = 4;
+    const PER: u64 = 5_000;
+
+    let (tx, rx) = channel::channel::<u64>();
+    let barrier = Barrier::new(PRODUCERS as usize + CONSUMERS);
+    let barrier = &barrier;
+
+    let consumed: Vec<Vec<u64>> = std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let tx = tx.clone();
+            s.spawn(move || {
+                barrier.wait();
+                for seq in 0..PER {
+                    tx.send(tag(p, seq)).unwrap();
+                }
+            });
+        }
+        drop(tx); // producers hold the remaining clones
+
+        let handles: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let rx = rx.clone();
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Exactly-once delivery: the union of all consumers' items is the exact
+    // multiset sent.
+    let mut count: HashMap<u64, u64> = HashMap::new();
+    for v in consumed.iter().flatten() {
+        *count.entry(*v).or_default() += 1;
+    }
+    assert_eq!(count.len() as u64, PRODUCERS * PER, "lost items");
+    assert!(count.values().all(|&c| c == 1), "duplicated items");
+
+    // Per-sender FIFO within each consumer's local stream.
+    for got in &consumed {
+        let mut last: HashMap<u64, u64> = HashMap::new();
+        for &v in got {
+            let (p, seq) = (v >> 32, v & 0xffff_ffff);
+            if let Some(&prev) = last.get(&p) {
+                assert!(prev < seq, "per-sender order violated: {prev} then {seq}");
+            }
+            last.insert(p, seq);
+        }
+    }
+}
+
+/// The classic lost-wakeup shape, looped: one item in flight at a time, with
+/// the consumer's final-poll-then-park window raced against the producer's
+/// enqueue-then-notify. Any lost wakeup deadlocks the iteration (caught by
+/// the recv_timeout + panic below rather than hanging the suite).
+#[test]
+fn no_lost_wakeup_one_item_ping() {
+    const ROUNDS: u64 = 2_000;
+    let (tx, rx) = channel::channel::<u64>();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            for i in 0..ROUNDS {
+                tx.send(i).unwrap();
+                // Stagger occasionally so the consumer reaches the parked
+                // state (not just the spin phase) in some iterations.
+                if i % 64 == 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        });
+        for i in 0..ROUNDS {
+            match rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(v) => assert_eq!(v, i),
+                Err(e) => panic!("round {i}: wakeup lost ({e})"),
+            }
+        }
+    });
+}
+
+#[test]
+fn recv_timeout_times_out_within_tolerance() {
+    let (tx, rx) = channel::channel::<u64>();
+    let start = Instant::now();
+    let r = rx.recv_timeout(Duration::from_millis(80));
+    let elapsed = start.elapsed();
+    assert_eq!(r, Err(RecvTimeoutError::Timeout));
+    assert!(
+        elapsed >= Duration::from_millis(80),
+        "woke early: {elapsed:?}"
+    );
+    // Generous upper bound: CI schedulers are noisy, but a parked waiter must
+    // not overshoot by an order of magnitude.
+    assert!(
+        elapsed < Duration::from_millis(800),
+        "overshot: {elapsed:?}"
+    );
+    drop(tx);
+}
+
+#[test]
+fn recv_timeout_returns_item_sent_mid_wait() {
+    let (tx, rx) = channel::channel::<u64>();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            tx.send(99).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(99));
+    });
+}
+
+#[test]
+fn bounded_backpressure_blocks_and_unblocks() {
+    let (tx, rx) = channel::bounded::<u64>(2);
+    tx.send(0).unwrap();
+    tx.send(1).unwrap();
+    match tx.try_send(2) {
+        Err(TrySendError::Full(v)) => assert_eq!(v, 2),
+        other => panic!("expected Full, got {other:?}"),
+    }
+
+    // A blocking send on the full channel must park, then complete once the
+    // receiver frees a slot.
+    let unblocked = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let (tx2, unblocked) = (tx.clone(), &unblocked);
+        s.spawn(move || {
+            tx2.send(2).unwrap();
+            unblocked.store(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(unblocked.load(Ordering::SeqCst), 0, "send ignored capacity");
+        assert_eq!(rx.recv(), Ok(0));
+    });
+    assert_eq!(unblocked.load(Ordering::SeqCst), 1);
+    assert_eq!(rx.recv(), Ok(1));
+    assert_eq!(rx.recv(), Ok(2));
+    assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+}
+
+#[test]
+fn bounded_mpmc_stress_respects_capacity_and_delivers_all() {
+    const PRODUCERS: u64 = 3;
+    const CONSUMERS: usize = 3;
+    const PER: u64 = 3_000;
+    let (tx, rx) = channel::bounded::<u64>(16);
+    let total = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let tx = tx.clone();
+            s.spawn(move || {
+                for seq in 0..PER {
+                    tx.send(tag(p, seq)).unwrap();
+                }
+            });
+        }
+        drop(tx);
+        for _ in 0..CONSUMERS {
+            let (rx, total) = (rx.clone(), &total);
+            s.spawn(move || {
+                let mut n = 0;
+                while rx.recv().is_ok() {
+                    n += 1;
+                }
+                total.fetch_add(n, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::SeqCst), PRODUCERS * PER);
+}
+
+#[test]
+fn batch_send_recv_preserves_order_and_count() {
+    let (tx, rx) = channel::channel::<u64>();
+    tx.send_batch((0..100).collect()).unwrap();
+    let mut out = Vec::new();
+    let n = rx.recv_batch(&mut out, 64).unwrap();
+    assert_eq!(n, 64);
+    let n2 = rx.recv_batch(&mut out, 64).unwrap();
+    assert_eq!(n + n2, 100);
+    assert_eq!(out, (0..100).collect::<Vec<_>>());
+}
+
+#[test]
+fn async_roundtrip_across_threads() {
+    let (tx, rx) = channel::channel::<u64>();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            for i in 0..500 {
+                block_on(tx.send_async(i)).unwrap();
+            }
+        });
+        for i in 0..500 {
+            assert_eq!(block_on(rx.recv_async()), Ok(i));
+        }
+    });
+    assert_eq!(block_on(rx.recv_async()), Err(RecvError::Disconnected));
+}
+
+#[test]
+fn iterator_drains_until_disconnect() {
+    let (tx, rx) = channel::channel::<u64>();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            for i in 0..200 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u64> = rx.iter().collect();
+        assert_eq!(got, (0..200).collect::<Vec<_>>());
+    });
+}
