@@ -20,6 +20,10 @@ cargo test --workspace -q
 echo "==> cargo test -p lcrq-channel -q (channel gate)"
 cargo test -p lcrq-channel -q
 
+echo "==> reclamation + ring-recycle gate"
+cargo test --test reclamation -q
+cargo test -p lcrq-core -q pool::
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -50,6 +54,37 @@ if rustup toolchain list 2>/dev/null | grep -q nightly &&
     rm -f "$tsan_log"
 else
     echo "==> TSan skipped (nightly toolchain with rust-src not installed)"
+fi
+
+# AddressSanitizer + LeakSanitizer job: the ring recycling pool (DESIGN.md
+# "Ring recycling") turns retire-means-free into retire-means-recycle, so
+# leaks and use-after-scrub bugs are exactly what this job exists to catch.
+# Same guard as TSan: runs only when a nightly toolchain with rust-src is
+# installed. Unlike TSan, any sanitizer ERROR (use-after-free, leak, ...)
+# FAILS the build.
+if rustup toolchain list 2>/dev/null | grep -q nightly &&
+    rustup component list --toolchain nightly 2>/dev/null |
+        grep -q 'rust-src (installed)'; then
+    echo "==> ASan/LSan (nightly): reclamation + recycle suites"
+    asan_log=$(mktemp)
+    if ! RUSTFLAGS="-Zsanitizer=address" ASAN_OPTIONS="detect_leaks=1" \
+        cargo +nightly test -Zbuild-std \
+        --target x86_64-unknown-linux-gnu \
+        --test reclamation -q >"$asan_log" 2>&1; then
+        echo "ASan/LSan test run failed:"
+        tail -60 "$asan_log"
+        rm -f "$asan_log"
+        exit 1
+    fi
+    if grep -q "ERROR: \(Address\|Leak\)Sanitizer" "$asan_log"; then
+        echo "ASan/LSan reported errors:"
+        grep -A 20 "ERROR: \(Address\|Leak\)Sanitizer" "$asan_log" | head -60
+        rm -f "$asan_log"
+        exit 1
+    fi
+    rm -f "$asan_log"
+else
+    echo "==> ASan/LSan skipped (nightly toolchain with rust-src not installed)"
 fi
 
 echo "CI OK"

@@ -38,8 +38,8 @@ fn main() {
     for &threads in &thread_points {
         println!("## Table 2 — {threads} thread(s), queue initially empty");
         println!("# pairs/thread = {pairs}, ring R = 2^{ring_order}");
-        println!("| queue | latency (ns/op) | rel. latency | atomic ops/op | F&A/op | parks/op | CAS fail rate | CAS2 fail rate | combiner batch |");
-        println!("|-------|-----------------|--------------|---------------|--------|----------|---------------|----------------|----------------|");
+        println!("| queue | latency (ns/op) | rel. latency | atomic ops/op | F&A/op | allocs/op | parks/op | CAS fail rate | CAS2 fail rate | combiner batch |");
+        println!("|-------|-----------------|--------------|---------------|--------|-----------|----------|---------------|----------------|----------------|");
         let mut base_latency = None;
         for &k in &kinds {
             let mut cfg = RunConfig::new(threads);
@@ -59,10 +59,11 @@ fn main() {
                 "-".to_string()
             };
             println!(
-                "| {} | {lat:.0} | {rel:.2}x | {:.2} | {:.2} | {:.3} | {:.1}% | {:.1}% | {batch} |",
+                "| {} | {lat:.0} | {rel:.2}x | {:.2} | {:.2} | {:.4} | {:.3} | {:.1}% | {:.1}% | {batch} |",
                 k.name(),
                 c.atomic_ops_per_op(),
                 c.faa_per_op(),
+                c.allocs_per_op(),
                 c.parks_per_op(),
                 100.0 * c.cas_failure_rate(),
                 100.0 * c.cas2_failure_rate(),

@@ -39,8 +39,8 @@ fn main() {
             if prefill > 0 { "full (2^16)" } else { "empty" }
         );
         println!("# pairs/thread = {pairs}, ring R = 2^{ring_order}");
-        println!("| queue | latency (µs/op) | atomic ops/op | F&A/op | parks/op | CAS fail | CAS2 fail | spin waits/op | combiner batch |");
-        println!("|-------|-----------------|---------------|--------|----------|----------|-----------|---------------|----------------|");
+        println!("| queue | latency (µs/op) | atomic ops/op | F&A/op | allocs/op | parks/op | CAS fail | CAS2 fail | spin waits/op | combiner batch |");
+        println!("|-------|-----------------|---------------|--------|-----------|----------|----------|-----------|---------------|----------------|");
         for &k in &kinds {
             let mut cfg = RunConfig::new(threads);
             cfg.pairs = pairs;
@@ -57,11 +57,12 @@ fn main() {
             };
             let spins = c.get(Event::SpinWait) as f64 / c.total_ops().max(1) as f64;
             println!(
-                "| {} | {:.2} | {:.2} | {:.2} | {:.3} | {:.1}% | {:.1}% | {spins:.2} | {batch} |",
+                "| {} | {:.2} | {:.2} | {:.2} | {:.4} | {:.3} | {:.1}% | {:.1}% | {spins:.2} | {batch} |",
                 k.name(),
                 r.mean_op_latency_ns() / 1_000.0,
                 c.atomic_ops_per_op(),
                 c.faa_per_op(),
+                c.allocs_per_op(),
                 c.parks_per_op(),
                 100.0 * c.cas_failure_rate(),
                 100.0 * c.cas2_failure_rate(),

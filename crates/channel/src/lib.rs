@@ -890,6 +890,45 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_with_recycled_rings_drops_in_flight_items_exactly_once() {
+        // Tiny rings + the ring recycling pool: traffic churns through many
+        // recycled ring incarnations, then the channel is torn down with a
+        // backlog in flight. Every undelivered value must drop exactly once
+        // (a recycled-ring aliasing bug would double-drop or leak).
+        struct Tally(std::sync::Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for Tally {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let drops = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let (tx, rx) = channel_with_config::<Tally>(
+            LcrqConfig::new()
+                .with_ring_order(2)
+                .with_ring_pool_capacity(4),
+        );
+        let total = 2_000usize;
+        // Churn: deliver (and drop) the first half, leave the rest queued
+        // across several rings — many of them recycled incarnations.
+        for _ in 0..total {
+            tx.send(Tally(std::sync::Arc::clone(&drops))).unwrap();
+        }
+        for _ in 0..total / 2 {
+            drop(rx.recv().unwrap());
+        }
+        assert_eq!(drops.load(std::sync::atomic::Ordering::SeqCst), total / 2);
+        // Teardown mid-backlog: sender first, then the receiver with the
+        // undelivered half still in the queue.
+        drop(tx);
+        drop(rx);
+        assert_eq!(
+            drops.load(std::sync::atomic::Ordering::SeqCst),
+            total,
+            "every in-flight value drops exactly once on shutdown"
+        );
+    }
+
+    #[test]
     fn mpmc_channel_stress() {
         let (tx, rx) = channel::<u64>();
         let producers = 3u64;

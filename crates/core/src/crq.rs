@@ -23,6 +23,7 @@
 
 use core::marker::PhantomData;
 use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{OnceLock, Weak};
 
 use lcrq_atomic::{ops, FaaPolicy, HardwareFaa};
 use lcrq_util::metrics::{self, Event};
@@ -30,6 +31,7 @@ use lcrq_util::CachePadded;
 
 use crate::config::LcrqConfig;
 use crate::node::Node;
+use crate::pool::RingPool;
 use crate::BOTTOM;
 
 /// Error returned by [`Crq::enqueue`] once the ring is closed (tantrum
@@ -39,6 +41,12 @@ pub struct CrqClosed;
 
 /// Bit 63 of `tail`: the ring is closed to further enqueues.
 const CLOSED_BIT: u64 = 1 << 63;
+
+/// Scrubbing refuses to re-base past this point, keeping every index a ring
+/// can hand out comfortably inside the 63-bit index space (bit 63 of `tail`
+/// is the CLOSED flag). Reaching it would take ~2^62 operations through one
+/// ring; the refusal path simply frees the ring instead of pooling it.
+const MAX_BASE: u64 = 1 << 62;
 
 /// A concurrent ring queue (bounded, closable). Most users want the
 /// unbounded [`Lcrq`](crate::Lcrq) built from a list of these.
@@ -58,6 +66,16 @@ pub struct Crq<P: FaaPolicy = HardwareFaa> {
     mask: u64,
     starvation_limit: u32,
     bounded_wait_spins: u32,
+    /// Index base of the current incarnation: 0 for a fresh ring; each
+    /// recycle re-bases it strictly above every index the previous
+    /// incarnation could have handed out (see [`scrub`](Self::scrub)).
+    base: AtomicU64,
+    /// Number of times this ring has been scrubbed for reuse.
+    reuse_epoch: AtomicU64,
+    /// The recycling pool this ring returns to when retired (set once,
+    /// before the ring is published; `Weak` so the pool owning rings does
+    /// not keep itself alive through them).
+    pool: OnceLock<Weak<RingPool<P>>>,
     _faa: PhantomData<P>,
 }
 
@@ -96,7 +114,7 @@ impl<P: FaaPolicy> Crq<P> {
             let _ = ok;
         }
         let tail = seed.len() as u64;
-        metrics::inc(Event::CrqAlloc);
+        metrics::inc(Event::RingAlloc);
         Self {
             head: CachePadded::new(AtomicU64::new(0)),
             tail: CachePadded::new(AtomicU64::new(tail)),
@@ -106,6 +124,9 @@ impl<P: FaaPolicy> Crq<P> {
             mask: size - 1,
             starvation_limit: config.starvation_limit,
             bounded_wait_spins: config.bounded_wait_spins,
+            base: AtomicU64::new(0),
+            reuse_epoch: AtomicU64::new(0),
+            pool: OnceLock::new(),
             _faa: PhantomData,
         }
     }
@@ -116,7 +137,7 @@ impl<P: FaaPolicy> Crq<P> {
     }
 
     #[inline]
-    fn node(&self, index: u64) -> &Node {
+    pub(crate) fn node(&self, index: u64) -> &Node {
         &self.ring[(index & self.mask) as usize]
     }
 
@@ -418,6 +439,94 @@ impl<P: FaaPolicy> Crq<P> {
             }
         }
     }
+
+    /// Scrubs an exclusively-owned ring for reuse: re-bases `head`, `tail`
+    /// and every node index onto a fresh *reuse epoch* strictly above any
+    /// index the previous incarnation could have handed out, clears the
+    /// CLOSED bit, the cluster owner, and the `next` link. Because all old
+    /// indices are dead, a CAS2 issued from any stale pre-scrub [`NodeView`]
+    /// (e.g. by an operation that was preempted inside its read→CAS2 window
+    /// in some *other* ring and misremembers this one) must fail — recycled
+    /// `(safe, idx, val)` tuples can never alias live ones.
+    ///
+    /// Callers must hold logical exclusive access: the ring is unreachable
+    /// from any queue and hazard-pointer quiescent (no slot protects it).
+    /// [`RingPool::push`] enforces this by taking the ring by `Box`.
+    ///
+    /// Returns `false` — leaving the ring dirty, to be freed rather than
+    /// pooled — when re-basing would approach the 63-bit index ceiling.
+    ///
+    /// [`NodeView`]: crate::node::NodeView
+    pub(crate) fn scrub(&self) -> bool {
+        let r = self.ring_size();
+        let top = self.head_index().max(self.tail_index());
+        // Node indices of the old incarnation are bounded by top - 1 + R
+        // (a vacated node advances by R past its claimed index): rounding
+        // down to a ring boundary and skipping two laps clears them all.
+        let base = (top & !self.mask) + 2 * r;
+        if base >= MAX_BASE {
+            return false;
+        }
+        for (u, node) in self.ring.iter().enumerate() {
+            node.reset(base + u as u64);
+        }
+        self.cluster.store(0, Ordering::Relaxed);
+        self.next.store(core::ptr::null_mut(), Ordering::Relaxed);
+        self.base.store(base, Ordering::Relaxed);
+        self.head.store(base, Ordering::SeqCst);
+        // Also clears the CLOSED bit (bit 63).
+        self.tail.store(base, Ordering::SeqCst);
+        self.reuse_epoch.fetch_add(1, Ordering::Release);
+        metrics::inc(Event::RingScrub);
+        true
+    }
+
+    /// Seeds a freshly scrubbed (still exclusively-owned) ring with `seed`:
+    /// the pooled-ring counterpart of [`with_seed_batch`](Self::with_seed_batch),
+    /// used when the spill path reuses a pooled ring instead of allocating.
+    pub(crate) fn reseed(&self, seed: &[u64]) {
+        let base = self.base.load(Ordering::Relaxed);
+        debug_assert_eq!(self.head_index(), base, "reseed requires a scrubbed ring");
+        debug_assert_eq!(self.tail_index(), base, "reseed requires a scrubbed ring");
+        assert!(
+            seed.len() as u64 <= self.ring_size(),
+            "seed batch ({}) exceeds ring size ({})",
+            seed.len(),
+            self.ring_size()
+        );
+        for (j, &x) in seed.iter().enumerate() {
+            debug_assert!(x != BOTTOM, "BOTTOM is reserved");
+            let node = self.node(base + j as u64);
+            let v = node.read();
+            let ok = node.try_enqueue(&v, base + j as u64, x);
+            debug_assert!(ok, "scrubbed nodes accept their seed");
+            let _ = ok;
+        }
+        self.tail.store(base + seed.len() as u64, Ordering::SeqCst);
+    }
+
+    /// Records the recycling pool this ring returns to when retired. First
+    /// write wins; called before the ring is published to other threads.
+    pub(crate) fn attach_pool(&self, pool: Weak<RingPool<P>>) {
+        let _ = self.pool.set(pool);
+    }
+
+    /// The pool recorded by [`attach_pool`](Self::attach_pool), if any.
+    pub(crate) fn pool(&self) -> Option<&Weak<RingPool<P>>> {
+        self.pool.get()
+    }
+
+    /// Number of times this ring has been scrubbed and recycled
+    /// (diagnostic; used by the ABA regression tests).
+    pub fn reuse_epoch(&self) -> u64 {
+        self.reuse_epoch.load(Ordering::Acquire)
+    }
+
+    /// Index base of the current incarnation: 0 for a fresh ring, strictly
+    /// above every previously issued index after each recycle (diagnostic).
+    pub fn base_index(&self) -> u64 {
+        self.base.load(Ordering::Relaxed)
+    }
 }
 
 // SAFETY: all shared state is atomics; values are plain u64.
@@ -713,6 +822,91 @@ mod tests {
         );
         assert_eq!(q.enqueue(2), Err(CrqClosed));
         assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn scrub_rebases_past_all_old_indices_and_reopens() {
+        let q = crq(3); // R = 8
+        for i in 0..6 {
+            q.enqueue(i).unwrap();
+        }
+        for _ in 0..4 {
+            q.dequeue();
+        }
+        q.close();
+        while q.dequeue().is_some() {}
+        let top = q.head_index().max(q.tail_index());
+        assert!(q.is_closed());
+        assert!(q.scrub());
+        assert!(!q.is_closed());
+        assert_eq!(q.reuse_epoch(), 1);
+        let base = q.base_index();
+        assert!(
+            base > top + q.ring_size() - 1,
+            "base {base} must clear every old node index (top {top})"
+        );
+        assert_eq!(q.head_index(), base);
+        assert_eq!(q.tail_index(), base);
+        // The recycled incarnation behaves like a fresh ring.
+        q.enqueue(41).unwrap();
+        q.enqueue(42).unwrap();
+        assert_eq!(q.dequeue(), Some(41));
+        assert_eq!(q.dequeue(), Some(42));
+        assert_eq!(q.dequeue(), None);
+        assert!(q.scrub(), "rings recycle repeatedly");
+        assert_eq!(q.reuse_epoch(), 2);
+    }
+
+    #[test]
+    fn stale_pre_scrub_views_cannot_touch_a_recycled_ring() {
+        use crate::node::NodeView;
+        use crate::BOTTOM;
+        let q = crq(3);
+        q.enqueue(7).unwrap();
+        let node = q.node(0);
+        // The views a stalled operation (preempted inside its read→CAS2
+        // window, holding no hazard on this ring) might still hold:
+        let stale_full = node.read(); // (1, 0, 7)
+        let stale_empty = NodeView {
+            val: BOTTOM,
+            ..stale_full
+        };
+        assert!(q.scrub());
+        // Every transition from a pre-scrub view must fail against the
+        // recycled node: its index now lives in a fresh epoch.
+        assert!(!node.try_dequeue(&stale_full, q.ring_size()));
+        assert!(!node.try_mark_unsafe(&stale_full));
+        assert!(!node.try_enqueue(&stale_empty, 0, 9));
+        assert!(!node.try_empty(&stale_empty, 0, q.ring_size()));
+        // And the recycled node is intact.
+        let v = node.read();
+        assert!(v.safe && v.is_empty());
+        assert_eq!(v.idx, q.base_index());
+    }
+
+    #[test]
+    fn scrub_refuses_near_index_exhaustion() {
+        let q = crq(3);
+        q.head.store(MAX_BASE - 4, Ordering::SeqCst);
+        q.tail.store(MAX_BASE - 4, Ordering::SeqCst);
+        assert!(!q.scrub(), "must refuse to re-base near the index ceiling");
+        // The refusal leaves counters untouched (ring goes to the allocator).
+        assert_eq!(q.head_index(), MAX_BASE - 4);
+    }
+
+    #[test]
+    fn reseed_places_seed_at_the_fresh_base() {
+        let q = crq(3);
+        for i in 0..5 {
+            q.enqueue(i).unwrap();
+        }
+        assert!(q.scrub());
+        q.reseed(&[100, 101, 102]);
+        assert_eq!(q.tail_index() - q.base_index(), 3);
+        assert_eq!(q.dequeue(), Some(100));
+        assert_eq!(q.dequeue(), Some(101));
+        assert_eq!(q.dequeue(), Some(102));
         assert_eq!(q.dequeue(), None);
     }
 

@@ -14,6 +14,7 @@
 //! for someone), and likewise for dequeues.
 
 use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::Arc;
 
 use lcrq_atomic::{ops, CasLoopFaa, FaaPolicy, HardwareFaa};
 use lcrq_hazard::Domain;
@@ -23,6 +24,7 @@ use lcrq_util::CachePadded;
 
 use crate::config::LcrqConfig;
 use crate::crq::Crq;
+use crate::pool::{self, RingPool};
 use crate::BOTTOM;
 
 /// The LCRQ with hardware fetch-and-add — the paper's headline algorithm.
@@ -46,6 +48,11 @@ pub struct LcrqGeneric<P: FaaPolicy> {
     head: CachePadded<AtomicPtr<Crq<P>>>,
     tail: CachePadded<AtomicPtr<Crq<P>>>,
     domain: Domain,
+    /// Recycling pool for retired rings (see [`RingPool`]). Declared after
+    /// `domain` so the domain drops first: reclaim callbacks running during
+    /// domain teardown can still upgrade their `Weak` and park rings here,
+    /// and the pool then frees everything it holds.
+    pool: Arc<RingPool<P>>,
     config: LcrqConfig,
     /// Queue-level shutdown flag (see [`close`](Self::close)). Distinct from
     /// per-ring tantrum closes, which only redirect enqueuers to a new ring.
@@ -55,6 +62,11 @@ pub struct LcrqGeneric<P: FaaPolicy> {
 /// Hazard slot used for the CRQ an operation is about to access.
 const HP_SLOT: usize = 0;
 
+/// Hazard slot used by [`RingPool::pop`] to protect its stack-pop candidate.
+/// Distinct from [`HP_SLOT`], which still protects the tail ring while the
+/// spill path shops for a replacement.
+const HP_POOL_SLOT: usize = 1;
+
 impl<P: FaaPolicy> LcrqGeneric<P> {
     /// Creates an empty queue with the default [`LcrqConfig`].
     pub fn new() -> Self {
@@ -63,11 +75,15 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
 
     /// Creates an empty queue with an explicit configuration.
     pub fn with_config(config: LcrqConfig) -> Self {
-        let first = Box::into_raw(Box::new(Crq::<P>::new(&config)));
+        let pool = RingPool::new(config.ring_pool_capacity);
+        let first = Box::new(Crq::<P>::new(&config));
+        first.attach_pool(Arc::downgrade(&pool));
+        let first = Box::into_raw(first);
         Self {
             head: CachePadded::new(AtomicPtr::new(first)),
             tail: CachePadded::new(AtomicPtr::new(first)),
             domain: Domain::new(),
+            pool,
             config,
             closed: AtomicBool::new(false),
         }
@@ -76,6 +92,39 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
     /// The active configuration.
     pub fn config(&self) -> &LcrqConfig {
         &self.config
+    }
+
+    /// The ring recycling pool attached to this queue (diagnostic: its
+    /// `len`/`capacity` bound the retired-ring memory kept for reuse).
+    pub fn ring_pool(&self) -> &RingPool<P> {
+        &self.pool
+    }
+
+    /// Produces a fresh open ring seeded with `seed`: recycled from the
+    /// pool when possible (allocation-free), otherwise heap-allocated.
+    /// Either way the ring carries the pool back-pointer, so its eventual
+    /// retirement recycles it.
+    fn alloc_ring(&self, seed: &[u64]) -> *mut Crq<P> {
+        if let Some(ring) = self.pool.pop(&self.domain, HP_POOL_SLOT) {
+            ring.reseed(seed);
+            return Box::into_raw(ring);
+        }
+        let ring = Box::new(Crq::<P>::with_seed_batch(&self.config, seed));
+        ring.attach_pool(Arc::downgrade(&self.pool));
+        Box::into_raw(ring)
+    }
+
+    /// Disposes of a spill ring that lost its link race: back to the pool
+    /// for the next spill, else deferred-freed. The free goes through the
+    /// hazard domain even though the ring was never queue-visible — if it
+    /// came out of the pool, a concurrent [`RingPool::pop`] can still hold
+    /// a hazard-protected pointer to it from a lost pop race.
+    fn release_ring(&self, ring: Box<Crq<P>>) {
+        if let Err(ring) = self.pool.push(ring) {
+            // SAFETY: unpublished at queue level and uniquely owned here;
+            // the domain defers the free past any straggling pool popper.
+            unsafe { self.domain.retire(Box::into_raw(ring)) };
+        }
     }
 
     /// LCRQ+H cluster gate (§4.1.1): wait briefly for the ring's cluster to
@@ -150,8 +199,9 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
                 self.domain.clear(HP_SLOT);
                 return Err(value);
             }
-            // Tantrum: race to append a fresh ring seeded with value.
-            let newring = Box::into_raw(Box::new(Crq::<P>::with_seed(&self.config, Some(value))));
+            // Tantrum: race to append a fresh ring seeded with value
+            // (recycled from the pool when one is available).
+            let newring = self.alloc_ring(core::slice::from_ref(&value));
             match ops::ptr::cas_ptr(&crq_ref.next, core::ptr::null_mut(), newring) {
                 Ok(()) => {
                     let _ = ops::ptr::cas_ptr(&self.tail, crq, newring);
@@ -159,9 +209,9 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
                     return Ok(());
                 }
                 Err(_) => {
-                    // Another enqueuer linked first; ours was never shared.
+                    // Another enqueuer linked first; ours was never linked.
                     // SAFETY: newring is unpublished and uniquely owned.
-                    unsafe { drop(Box::from_raw(newring)) };
+                    self.release_ring(unsafe { Box::from_raw(newring) });
                 }
             }
         }
@@ -235,13 +285,28 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
                 return Some(v);
             }
             if ops::ptr::cas_ptr(&self.head, crq, next).is_ok() {
+                // Drop our own protection first so the scan below can
+                // recycle `crq` immediately (we are done touching it).
+                self.domain.clear(HP_SLOT);
                 // SAFETY: `crq` is now unreachable from the queue (head
                 // moved past it and enqueuers long since moved to `next` or
-                // later); hazard retirement defers the free until no
-                // operation still holds it protected.
-                unsafe { self.domain.retire(crq) };
+                // later); hazard retirement defers reclamation until no
+                // operation still holds it protected, and the reclaimer
+                // scrubs it into the ring pool instead of freeing it
+                // (falling back to a free when the pool is full or gone).
+                unsafe {
+                    self.domain
+                        .retire_with(crq as *mut (), pool::recycle_ring::<P>)
+                };
+                if !self.pool.is_full() {
+                    // Feed the pool promptly: at the domain's default scan
+                    // threshold, a pile of reusable rings would sit retired
+                    // while the spill path allocates fresh ones.
+                    self.domain.scan();
+                }
+            } else {
+                self.domain.clear(HP_SLOT);
             }
-            self.domain.clear(HP_SLOT);
         }
     }
 
@@ -319,13 +384,11 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
                 return Err(placed_total);
             }
             // Tantrum mid-batch: spill the remainder (up to one ring's
-            // worth) into a fresh ring and race to link it, exactly like
-            // the scalar path's seeded ring.
+            // worth) into a fresh ring — recycled from the pool when
+            // possible — and race to link it, exactly like the scalar
+            // path's seeded ring.
             let seed_len = (rest.len() as u64).min(self.config.ring_size()) as usize;
-            let newring = Box::into_raw(Box::new(Crq::<P>::with_seed_batch(
-                &self.config,
-                &rest[..seed_len],
-            )));
+            let newring = self.alloc_ring(&rest[..seed_len]);
             match ops::ptr::cas_ptr(&crq_ref.next, core::ptr::null_mut(), newring) {
                 Ok(()) => {
                     let _ = ops::ptr::cas_ptr(&self.tail, crq, newring);
@@ -333,9 +396,9 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
                     rest = &rest[seed_len..];
                 }
                 Err(_) => {
-                    // Another enqueuer linked first; ours was never shared.
+                    // Another enqueuer linked first; ours was never linked.
                     // SAFETY: newring is unpublished and uniquely owned.
-                    unsafe { drop(Box::from_raw(newring)) };
+                    self.release_ring(unsafe { Box::from_raw(newring) });
                 }
             }
         }
@@ -421,6 +484,7 @@ impl<P: FaaPolicy> core::fmt::Debug for LcrqGeneric<P> {
             .field("ring_order", &self.config.ring_order)
             .field("hierarchical", &self.config.hierarchical.is_some())
             .field("rings", &self.ring_count())
+            .field("pooled_rings", &self.pool.len())
             .finish()
     }
 }
@@ -465,8 +529,15 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
 
 impl<P: FaaPolicy> Drop for LcrqGeneric<P> {
     fn drop(&mut self) {
-        // Exclusive access: free the whole ring chain. Rings retired earlier
-        // are freed when `domain` drops.
+        // Exclusive access: free the whole ring chain. A ring is reachable
+        // here *or* from the pool, never both — pooled rings had their
+        // `next` nulled by scrubbing (it then only ever links other pooled
+        // rings), and chain rings are by definition not yet retired — so
+        // the chain walk and the pool's own drop cannot double-free.
+        // Rings retired earlier but not yet reclaimed are dispatched when
+        // `domain` drops (before `pool`, see field order): each is either
+        // parked in the pool and freed by the pool's drop, or freed
+        // directly when the pool is already full.
         let mut cur = *self.head.get_mut();
         while !cur.is_null() {
             // SAFETY: exclusive access in drop.

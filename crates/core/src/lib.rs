@@ -51,11 +51,13 @@ pub mod crq;
 pub mod infinite;
 pub mod lcrq;
 pub mod node;
+pub mod pool;
 pub mod typed;
 
 pub use config::{HierarchicalConfig, LcrqConfig};
 pub use crq::{Crq, CrqClosed};
 pub use lcrq::{Lcrq, LcrqCas, LcrqGeneric};
+pub use pool::RingPool;
 pub use typed::TypedLcrq;
 
 /// The reserved "empty cell" value ⊥. User values must be strictly below it.

@@ -118,6 +118,18 @@ impl Node {
             .is_ok()
     }
 
+    /// Re-initializes the node to `(1, u, ⊥)` for ring reuse.
+    ///
+    /// The caller must hold *logical* exclusive access to the ring (no
+    /// in-flight protocol operation on it — enforced by hazard-pointer
+    /// quiescence before a ring enters the recycling pool). The store is
+    /// still a real atomic pair replacement, so even a CAS2 issued from a
+    /// stale pre-scrub [`NodeView`] fails cleanly rather than tearing.
+    #[inline]
+    pub fn reset(&self, u: u64) {
+        self.pair.store(pack(true, u), BOTTOM);
+    }
+
     /// Attempts the *unsafe transition* `(s, i, val) -> (0, i, val)`
     /// (Figure 3b line 45).
     #[inline]
@@ -206,6 +218,26 @@ mod tests {
         assert!(!v.safe);
         assert_eq!(v.idx, 9);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn reset_rebases_and_stale_prereset_views_fail() {
+        const R: u64 = 8;
+        let n = Node::new(3);
+        let v = n.read();
+        assert!(n.try_enqueue(&v, 3, 77));
+        let stale = n.read();
+        // Scrub onto a fresh epoch whose base exceeds every index the node
+        // could previously have carried.
+        n.reset(3 + 2 * R);
+        let v = n.read();
+        assert!(v.safe);
+        assert_eq!(v.idx, 3 + 2 * R);
+        assert!(v.is_empty());
+        // Transitions from pre-reset views must all fail.
+        assert!(!n.try_dequeue(&stale, R));
+        assert!(!n.try_mark_unsafe(&stale));
+        assert!(!n.try_enqueue(&stale, 3, 78));
     }
 
     #[test]

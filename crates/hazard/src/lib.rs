@@ -274,11 +274,34 @@ impl Domain {
             // SAFETY: `p` was created by Box::into_raw::<T> per retire's contract.
             unsafe { drop(Box::from_raw(p as *mut T)) };
         }
+        // SAFETY: forwarded from retire's contract; drop_box reclaims the
+        // allocation exactly once.
+        unsafe { self.retire_with(ptr as *mut (), drop_box::<T>) }
+    }
+
+    /// Retires `ptr` with a custom reclaimer: `reclaim` runs exactly once,
+    /// after no hazard slot protects `ptr` anymore. This generalizes
+    /// [`retire`](Self::retire) (whose reclaimer is `Box::from_raw` + drop)
+    /// to non-freeing dispositions such as scrubbing an object into a
+    /// recycling pool.
+    ///
+    /// `reclaim` may run on any thread that happens to [`scan`](Self::scan)
+    /// (including a thread dropping its last handle to the domain), so the
+    /// pointee must be `Send`. Re-entrant `retire`/`retire_with` calls from
+    /// inside `reclaim` are permitted: scans snapshot the retired list
+    /// before invoking reclaimers.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`retire`](Self::retire): `ptr` must not be retired
+    /// twice and no new references may be created after this call. `reclaim`
+    /// must assume full ownership of `ptr`.
+    pub unsafe fn retire_with(&self, ptr: *mut (), reclaim: unsafe fn(*mut ())) {
         let threshold = self.threshold();
         let scan_now = self.with_entry(|e| {
             e.retired.push(Retired {
-                ptr: ptr as *mut (),
-                drop_fn: drop_box::<T>,
+                ptr,
+                drop_fn: reclaim,
             });
             e.retired.len() >= threshold
         });
@@ -425,6 +448,26 @@ mod tests {
         d.clear(0);
         assert_eq!(d.scan(), 1);
         assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn retire_with_runs_custom_reclaimer_once_protection_drops() {
+        static RECLAIMED: AtomicUsize = AtomicUsize::new(0);
+        unsafe fn stash(p: *mut ()) {
+            RECLAIMED.fetch_add(1, Ordering::SeqCst);
+            // SAFETY: p came from Box::into_raw::<u64> below.
+            unsafe { drop(Box::from_raw(p as *mut u64)) };
+        }
+        let d = Domain::new();
+        let p = Box::into_raw(Box::new(7u64));
+        let src = AtomicPtr::new(p);
+        d.protect(0, &src);
+        unsafe { d.retire_with(p as *mut (), stash) };
+        assert_eq!(d.scan(), 0, "protected object must not be reclaimed");
+        assert_eq!(RECLAIMED.load(Ordering::SeqCst), 0);
+        d.clear(0);
+        assert_eq!(d.scan(), 1);
+        assert_eq!(RECLAIMED.load(Ordering::SeqCst), 1);
     }
 
     #[test]

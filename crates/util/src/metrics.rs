@@ -41,8 +41,8 @@ pub enum Event {
     UnsafeTransition,
     /// A CRQ was closed.
     CrqClosed,
-    /// A new CRQ was allocated and appended.
-    CrqAlloc,
+    /// A fresh CRQ ring was heap-allocated (the recycling pool missed).
+    RingAlloc,
     /// Completed enqueue operations.
     EnqOp,
     /// Completed dequeue operations (returning an item).
@@ -74,9 +74,15 @@ pub enum Event {
     WakeSpurious,
     /// A channel was closed (sender drop or explicit `close()`).
     ChannelClosed,
+    /// A retired ring was served back out of the recycling pool, avoiding a
+    /// heap allocation on the spill path.
+    RingReuse,
+    /// A drained ring was scrubbed (indices re-based onto a fresh reuse
+    /// epoch) on its way into the recycling pool.
+    RingScrub,
 }
 
-const NUM_EVENTS: usize = Event::ChannelClosed as usize + 1;
+const NUM_EVENTS: usize = Event::RingScrub as usize + 1;
 
 const EVENT_NAMES: [&str; NUM_EVENTS] = [
     "faa",
@@ -90,7 +96,7 @@ const EVENT_NAMES: [&str; NUM_EVENTS] = [
     "empty_transition",
     "unsafe_transition",
     "crq_closed",
-    "crq_alloc",
+    "ring_alloc",
     "enq_op",
     "deq_op",
     "deq_empty",
@@ -106,6 +112,8 @@ const EVENT_NAMES: [&str; NUM_EVENTS] = [
     "unpark",
     "wake_spurious",
     "channel_closed",
+    "ring_reuse",
+    "ring_scrub",
 ];
 
 thread_local! {
@@ -243,6 +251,19 @@ impl Snapshot {
             0.0
         } else {
             self.get(Event::Faa) as f64 / ops as f64
+        }
+    }
+
+    /// Fresh ring heap allocations per completed operation (0.0 when no
+    /// operations completed). With the recycling pool warm this sits near
+    /// zero even on spill-heavy workloads; without it every CRQ close costs
+    /// one allocation.
+    pub fn allocs_per_op(&self) -> f64 {
+        let ops = self.total_ops();
+        if ops == 0 {
+            0.0
+        } else {
+            self.get(Event::RingAlloc) as f64 / ops as f64
         }
     }
 
@@ -429,6 +450,25 @@ mod tests {
         assert_eq!(d.get(Event::Unpark), 1);
         assert_eq!(d.get(Event::Faa), 0);
         reset();
+    }
+
+    #[test]
+    fn allocs_per_op_counts_only_pool_misses() {
+        let _g = guard();
+        reset();
+        add(Event::RingAlloc, 1);
+        add(Event::RingReuse, 9);
+        add(Event::RingScrub, 10);
+        add(Event::EnqOp, 50);
+        add(Event::DeqOp, 50);
+        flush();
+        let s = snapshot();
+        assert_eq!(s.allocs_per_op(), 0.01);
+        assert_eq!(Snapshot::default().allocs_per_op(), 0.0);
+        let text = s.to_string();
+        assert!(text.contains("ring_alloc"));
+        assert!(text.contains("ring_reuse"));
+        assert!(text.contains("ring_scrub"));
     }
 
     #[test]

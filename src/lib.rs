@@ -66,7 +66,7 @@ pub use lcrq_queues as queues;
 pub use lcrq_util as util;
 
 pub use lcrq_core::{
-    Crq, CrqClosed, HierarchicalConfig, Lcrq, LcrqCas, LcrqConfig, LcrqGeneric, TypedLcrq,
+    Crq, CrqClosed, HierarchicalConfig, Lcrq, LcrqCas, LcrqConfig, LcrqGeneric, RingPool, TypedLcrq,
 };
 pub use lcrq_queues::{
     CcQueue, ClosableQueue, ConcurrentQueue, FcQueue, HQueue, MsQueue, TwoLockQueue,

@@ -44,6 +44,28 @@ fn run_against_model<Q: ConcurrentQueue>(q: &Q, steps: &[Step]) {
     assert_eq!(q.dequeue(), None);
 }
 
+/// One step of a close/recycle × batch-op workload (exercises the ring
+/// recycling pool: tiny rings force tantrums, so batch spills constantly
+/// retire rings through the pool and reseed recycled ones).
+#[derive(Debug, Clone)]
+enum BatchStep {
+    Enq(u64),
+    Deq,
+    EnqBatch(Vec<u64>),
+    DeqBatch(usize),
+    Close,
+}
+
+fn batch_step_strategy() -> impl Strategy<Value = BatchStep> {
+    prop_oneof![
+        4 => (0u64..1_000_000).prop_map(BatchStep::Enq),
+        4 => Just(BatchStep::Deq),
+        3 => prop::collection::vec(0u64..1_000_000, 0..24).prop_map(BatchStep::EnqBatch),
+        3 => (0usize..24).prop_map(BatchStep::DeqBatch),
+        1 => Just(BatchStep::Close),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -149,6 +171,76 @@ proptest! {
             prop_assert_eq!(q.dequeue(), Some(i));
         }
         prop_assert_eq!(q.dequeue(), None);
+        prop_assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn close_and_recycle_cross_batch_ops_match_model(
+        steps in prop::collection::vec(batch_step_strategy(), 0..300),
+        order in 1u32..4,
+        starvation in 1u32..8,
+        pool_cap in 0usize..4,
+    ) {
+        // Tiny rings + tiny starvation limits force frequent tantrums, so
+        // the sequence churns through many ring incarnations; pool_cap
+        // covers disabled (0) through bigger-than-churn pools. The model is
+        // a VecDeque plus a closed flag: after close, enqueues refuse and
+        // dequeues drain the backlog.
+        let q = Lcrq::with_config(
+            LcrqConfig::new()
+                .with_ring_order(order)
+                .with_starvation_limit(starvation)
+                .with_ring_pool_capacity(pool_cap),
+        );
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut closed = false;
+        let mut out = Vec::new();
+        for (i, step) in steps.iter().enumerate() {
+            match step {
+                BatchStep::Enq(v) => {
+                    if closed {
+                        prop_assert_eq!(q.try_enqueue(*v), Err(*v), "step {}", i);
+                    } else {
+                        prop_assert_eq!(q.try_enqueue(*v), Ok(()), "step {}", i);
+                        model.push_back(*v);
+                    }
+                }
+                BatchStep::Deq => {
+                    prop_assert_eq!(q.dequeue(), model.pop_front(), "step {}", i);
+                }
+                BatchStep::EnqBatch(vs) => {
+                    if closed {
+                        // Single-threaded: a closed queue places nothing.
+                        prop_assert_eq!(q.try_enqueue_batch(vs), Err(0), "step {}", i);
+                    } else {
+                        prop_assert_eq!(q.try_enqueue_batch(vs), Ok(()), "step {}", i);
+                        model.extend(vs.iter().copied());
+                    }
+                }
+                BatchStep::DeqBatch(max) => {
+                    out.clear();
+                    let got = q.dequeue_batch(&mut out, *max);
+                    prop_assert_eq!(got, out.len());
+                    prop_assert!(got <= *max);
+                    // A short batch is a linearizable EMPTY observation.
+                    prop_assert_eq!(got, (*max).min(model.len()), "step {}", i);
+                    for v in &out {
+                        prop_assert_eq!(Some(*v), model.pop_front(), "step {}", i);
+                    }
+                }
+                BatchStep::Close => {
+                    prop_assert_eq!(q.close(), !closed, "step {}", i);
+                    closed = true;
+                    prop_assert!(q.is_closed());
+                }
+            }
+            // The pool bound holds at every step of the sequence.
+            prop_assert!(q.ring_pool().len() <= pool_cap, "step {}", i);
+        }
+        // Drain: the surviving backlog comes out FIFO, exactly once.
+        while let Some(v) = model.pop_front() {
+            prop_assert_eq!(q.dequeue(), Some(v));
+        }
         prop_assert_eq!(q.dequeue(), None);
     }
 }

@@ -1,10 +1,13 @@
-//! Memory-reclamation integration tests: retired CRQs are freed, typed
-//! values are dropped exactly once, and sustained ring churn does not
-//! accumulate unbounded garbage.
+//! Memory-reclamation integration tests: retired CRQs are freed (or, with
+//! the recycling pool, scrubbed and reused), typed values are dropped
+//! exactly once, sustained ring churn does not accumulate unbounded
+//! garbage, and steady-state churn through the pool allocates nothing.
 
-use lcrq::{Lcrq, LcrqConfig, TypedLcrq};
+use lcrq::hazard::Domain;
+use lcrq::util::metrics::{self, Event};
+use lcrq::{Crq, Lcrq, LcrqConfig, RingPool, TypedLcrq};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 struct DropCounter(Arc<AtomicUsize>);
 impl Drop for DropCounter {
@@ -82,4 +85,266 @@ fn many_short_lived_queues_do_not_leak_or_crash() {
             let _ = q.dequeue();
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Recycle-pool suite: the bounded ring pool replaces retire-means-free with
+// retire-means-recycle (see DESIGN.md "Ring recycling").
+// ---------------------------------------------------------------------------
+
+/// Single-threaded spill churn: every round overflows the tiny ring several
+/// times, so each round closes and retires rings.
+fn churn_rounds(q: &Lcrq, rounds: u64) {
+    for round in 0..rounds {
+        for i in 0..16 {
+            q.enqueue(round * 100 + i);
+        }
+        for i in 0..16 {
+            assert_eq!(q.dequeue(), Some(round * 100 + i));
+        }
+    }
+}
+
+#[test]
+fn steady_state_ring_churn_allocates_zero() {
+    let q = Lcrq::with_config(
+        LcrqConfig::new()
+            .with_ring_order(2) // R = 4: 16 items/round force >= 3 closes
+            .with_ring_pool_capacity(4),
+    );
+    churn_rounds(&q, 50); // warm the pool
+    let before = metrics::local_snapshot();
+    churn_rounds(&q, 200);
+    let d = metrics::local_snapshot().delta_since(&before);
+    assert_eq!(
+        d.get(Event::RingAlloc),
+        0,
+        "steady-state spills must be served from the pool"
+    );
+    assert!(
+        d.get(Event::RingReuse) >= 200,
+        "every round spills through recycled rings, got {}",
+        d.get(Event::RingReuse)
+    );
+}
+
+#[test]
+fn disabled_pool_allocates_per_spill_like_before() {
+    let q = Lcrq::with_config(
+        LcrqConfig::new()
+            .with_ring_order(2)
+            .with_ring_pool_capacity(0),
+    );
+    churn_rounds(&q, 20);
+    let before = metrics::local_snapshot();
+    churn_rounds(&q, 50);
+    let d = metrics::local_snapshot().delta_since(&before);
+    assert_eq!(d.get(Event::RingReuse), 0, "pool disabled: no reuse");
+    assert!(d.get(Event::RingAlloc) > 0, "every spill allocates");
+    assert_eq!(q.ring_pool().len(), 0);
+    assert_eq!(q.ring_pool().capacity(), 0);
+}
+
+#[test]
+fn typed_values_drop_exactly_once_across_spill_reuse_cycles() {
+    let drops = Arc::new(AtomicUsize::new(0));
+    let q: TypedLcrq<DropCounter> = TypedLcrq::with_config(
+        LcrqConfig::new()
+            .with_ring_order(2)
+            .with_ring_pool_capacity(4),
+    );
+    let mut expected = 0usize;
+    // Several cycles so values live in recycled rings, with a residue left
+    // behind each cycle that the next cycle drains.
+    for cycle in 0..50 {
+        for _ in 0..20 {
+            q.enqueue(DropCounter(Arc::clone(&drops)));
+        }
+        let take = 10 + cycle % 11; // drain unevenly across ring boundaries
+        for _ in 0..take {
+            if let Some(v) = q.dequeue() {
+                drop(v);
+                expected += 1;
+            }
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), expected);
+    }
+    // The rest (in live rings, some of them recycled incarnations) drop with
+    // the queue, exactly once each.
+    drop(q);
+    assert_eq!(drops.load(Ordering::SeqCst), 50 * 20);
+}
+
+#[test]
+fn pool_never_exceeds_its_configured_bound() {
+    let q = Lcrq::with_config(
+        LcrqConfig::new()
+            .with_ring_order(2)
+            .with_ring_pool_capacity(2),
+    );
+    assert_eq!(q.ring_pool().capacity(), 2);
+    for round in 0..100 {
+        churn_rounds(&q, 1);
+        assert!(
+            q.ring_pool().len() <= 2,
+            "round {round}: pool len {} exceeds bound",
+            q.ring_pool().len()
+        );
+    }
+    // And concurrently, sampled while churn is in flight.
+    let q = &q;
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(move || {
+                for round in 0..2_000u64 {
+                    for i in 0..16 {
+                        q.enqueue(round * 100 + i);
+                    }
+                    for _ in 0..16 {
+                        let _ = q.dequeue();
+                    }
+                }
+            });
+        }
+        s.spawn(move || {
+            for _ in 0..10_000 {
+                assert!(q.ring_pool().len() <= 2, "bound violated under churn");
+            }
+        });
+    });
+}
+
+// --- ABA regression: a reader stalled with a hazard pointer on a ring must
+// not observe scrubbed/reused tuples after the ring is recycled. -----------
+
+static STALL_POOL: OnceLock<Arc<RingPool>> = OnceLock::new();
+
+/// Reclaimer used by the stalled-reader test: park the ring in a pool the
+/// test can observe (mirrors the queue-internal recycle callback).
+unsafe fn recycle_into_stall_pool(p: *mut ()) {
+    // SAFETY: `p` is the Box::into_raw ring retired below; the hazard
+    // domain hands it over with sole ownership.
+    let ring = unsafe { Box::from_raw(p as *mut Crq) };
+    let _ = STALL_POOL.get().unwrap().push(ring);
+}
+
+#[test]
+fn stalled_hazard_reader_never_observes_a_scrubbed_ring() {
+    // Arm the scheduler adversary so the protect/retire interleaving below
+    // runs with preemption injected inside read→CAS2 windows too.
+    lcrq::util::adversary::set_preempt_ppm(10_000);
+    let pool = Arc::clone(STALL_POOL.get_or_init(|| RingPool::new(4)));
+    let domain = Domain::new();
+    let ring: Box<Crq> = Box::new(Crq::new(&LcrqConfig::new().with_ring_order(3)));
+    for i in 0..5 {
+        ring.enqueue(i).unwrap();
+    }
+    while ring.dequeue().is_some() {}
+    ring.close();
+    let top_before = ring.head_index().max(ring.tail_index());
+    let raw = Box::into_raw(ring);
+
+    // A reader stalls holding a hazard pointer on the ring — the position
+    // of a dequeuer preempted between protecting the head ring and acting
+    // on its (now stale) node views.
+    domain.protect_raw(0, raw as *mut ());
+    // Meanwhile the ring is retired for recycling.
+    // SAFETY: `raw` is unreachable from any queue; the stalled hazard above
+    // is exactly what retirement must (and does) respect.
+    unsafe { domain.retire_with(raw as *mut (), recycle_into_stall_pool) };
+    domain.scan();
+    assert_eq!(pool.len(), 0, "protected ring must not be recycled");
+    // The stalled reader's world is intact: no scrub happened, so every
+    // tuple it can see is from its own epoch.
+    // SAFETY: still hazard-protected.
+    let r = unsafe { &*raw };
+    assert_eq!(r.reuse_epoch(), 0, "no scrub while a hazard is held");
+    assert!(r.is_closed());
+    assert!(r.head_index().max(r.tail_index()) == top_before);
+
+    // The reader finishes and releases its hazard; only now is the ring
+    // scrubbed into the pool, on a fresh epoch.
+    domain.clear(0);
+    domain.scan();
+    assert_eq!(pool.len(), 1, "quiescent ring is recycled");
+    let r = pool.pop(&domain, 0).expect("pooled ring");
+    assert_eq!(r.reuse_epoch(), 1);
+    assert!(!r.is_closed());
+    // The reuse-epoch re-base: every index of the new incarnation lies
+    // strictly above anything the stalled reader could have seen, so its
+    // stale views can never alias recycled tuples (CAS2s must fail).
+    assert!(
+        r.base_index() > top_before + r.ring_size() - 1,
+        "base {} must clear the old incarnation (top {top_before})",
+        r.base_index()
+    );
+    lcrq::util::adversary::set_preempt_ppm(0);
+}
+
+#[test]
+fn adversary_churn_with_recycling_preserves_per_producer_fifo() {
+    // MPMC churn through tiny recycled rings with the scheduler adversary
+    // injecting preemptions inside read→CAS2 windows: per-producer
+    // sequences must come out strictly in order, each value exactly once —
+    // an ABA through a recycled ring would surface as loss or duplication.
+    lcrq::util::adversary::set_preempt_ppm(20_000);
+    let q = Lcrq::with_config(
+        LcrqConfig::new()
+            .with_ring_order(2)
+            .with_starvation_limit(4) // tantrum early and often
+            .with_ring_pool_capacity(4),
+    );
+    const PRODUCERS: u64 = 2;
+    const PER: u64 = 20_000;
+    let q = &q;
+    let seen: Vec<Vec<u64>> = std::thread::scope(|s| {
+        for t in 0..PRODUCERS {
+            s.spawn(move || {
+                for i in 0..PER {
+                    q.enqueue(t << 48 | i);
+                }
+            });
+        }
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    let mut misses = 0u32;
+                    while misses < 1_000 {
+                        match q.dequeue() {
+                            Some(v) => {
+                                misses = 0;
+                                got.push(v);
+                            }
+                            None => {
+                                misses += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        consumers.into_iter().map(|c| c.join().unwrap()).collect()
+    });
+    let mut remaining: Vec<u64> = Vec::new();
+    while let Some(v) = q.dequeue() {
+        remaining.push(v);
+    }
+    let mut counts = vec![0u64; PRODUCERS as usize];
+    for stream in seen.iter().chain(std::iter::once(&remaining)) {
+        let mut stream_last = vec![None::<u64>; PRODUCERS as usize];
+        for &v in stream {
+            let (t, i) = ((v >> 48) as usize, v & ((1 << 48) - 1));
+            counts[t] += 1;
+            // FIFO per producer within one consumer's stream.
+            assert!(stream_last[t].is_none_or(|p| p < i), "reordered: {v:#x}");
+            stream_last[t] = Some(i);
+        }
+    }
+    for (t, &c) in counts.iter().enumerate() {
+        assert_eq!(c, PER, "producer {t}: lost or duplicated items");
+    }
+    lcrq::util::adversary::set_preempt_ppm(0);
 }
