@@ -14,8 +14,11 @@ cargo build --release
 echo "==> cargo test -q (tier-1)"
 cargo test -q
 
-echo "==> cargo test --workspace -q"
-cargo test --workspace -q
+# The root suite above already covers the `lcrq` package; exclude it here
+# so the workspace pass only adds the member crates instead of re-running
+# every root integration test a second time.
+echo "==> cargo test --workspace --exclude lcrq -q"
+cargo test --workspace --exclude lcrq -q
 
 echo "==> cargo test -p lcrq-channel -q (channel gate)"
 cargo test -p lcrq-channel -q
@@ -24,6 +27,13 @@ echo "==> reclamation + ring-recycle gate"
 cargo test --test reclamation -q
 cargo test -p lcrq-core -q pool::
 
+# SCQ gate: the portable single-word-CAS backend family (DESIGN.md "SCQ
+# backend"). Unit suites for the ring + list, then the shared
+# linearizability battery filtered to the LSCQ kinds.
+echo "==> SCQ/LSCQ gate"
+cargo test -p lcrq-core -q scq
+cargo test --test linearizability -q lscq
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -31,7 +41,9 @@ echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 # ThreadSanitizer job (allowed-to-warn): needs a nightly toolchain with
-# rust-src for -Zbuild-std. Skipped silently when unavailable; when it does
+# rust-src for -Zbuild-std; covers lcrq-core (CRQ/LCRQ *and* the SCQ/LSCQ
+# family's unit suites) plus the channel layer. Skipped silently when
+# unavailable; when it does
 # run, reported data races FAIL the build — all other TSan noise (e.g.
 # unsupported-platform warnings) is tolerated.
 if rustup toolchain list 2>/dev/null | grep -q nightly &&

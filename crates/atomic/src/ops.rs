@@ -24,6 +24,16 @@ pub fn tas_bit(a: &AtomicU64, bit: u32) -> bool {
     a.fetch_or(mask, Ordering::SeqCst) & mask != 0
 }
 
+/// Atomic fetch-OR (`LOCK OR`-family RMW): ORs `mask` into `*a`, returning
+/// the previous value. The SCQ dequeue transition uses this to consume an
+/// entry (setting the index field to ⊥) with a single unconditional RMW —
+/// counted in the T&S family, like [`tas_bit`].
+#[inline]
+pub fn or_bits(a: &AtomicU64, mask: u64) -> u64 {
+    metrics::inc(Event::Tas);
+    a.fetch_or(mask, Ordering::SeqCst)
+}
+
 /// Counted single-word CAS: returns `Ok(())` or the observed value.
 #[inline]
 pub fn cas(a: &AtomicU64, old: u64, new: u64) -> Result<(), u64> {

@@ -18,7 +18,7 @@
 
 use lcrq_bench::cli::Cli;
 use lcrq_core::infinite::InfiniteArrayQueue;
-use lcrq_core::{Lcrq, LcrqConfig};
+use lcrq_core::{Lcrq, LcrqConfig, Lscq};
 use lcrq_queues::ConcurrentQueue;
 use lcrq_util::metrics::{self, Event};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -110,5 +110,26 @@ fn main() {
     println!("LCRQ's attempts stay bounded because a starving enqueuer closes the");
     println!("ring and appends a fresh one seeded with its item (§4.2) — the");
     println!("infinite-array queue has no such escape and can livelock.");
+    println!();
+
+    // LSCQ: the portable sibling. Its dequeuers carry a threshold counter
+    // (Nikolaev, arXiv:1908.04511) that exhausts on an empty ring, so the
+    // storm stops issuing F&As entirely between enqueues; the enqueuer's
+    // placement attempts stay bounded the same way LCRQ's do.
+    let q = Lscq::with_config(LcrqConfig::new().with_ring_order(8));
+    let o = hammer(&q, dequeuers, enqueues, Event::NodeVisit);
+    println!("lscq (enqueuer-thread events only):");
+    println!(
+        "  ring-entry visits per enqueue: {:.3}",
+        o.attempts_per_enqueue
+    );
+    println!(
+        "  rings closed (full-ring tantrum escape hatch): {}",
+        o.rings_closed
+    );
+    println!();
+    println!("LSCQ needs no double-width CAS for this bound: cycle-tagged 64-bit");
+    println!("entries plus the threshold counter give the same livelock freedom");
+    println!("with single-word primitives.");
     lcrq_util::adversary::set_preempt_ppm(0);
 }

@@ -14,7 +14,7 @@
 //!
 //! Usage: `fig6_throughput [--threads 1,2,4,8,16,20] [--pairs 20000]
 //!         [--runs 3] [--ring-order 12] [--oversubscribed]
-//!         [--queues lcrq,lcrq-cas,cc-queue,fc-queue,ms]`
+//!         [--queues lcrq,lcrq-cas,lscq,cc-queue,fc-queue,ms]`
 
 use lcrq_bench::cli::Cli;
 use lcrq_bench::{make_queue, run_workload, QueueKind, RunConfig};
@@ -55,6 +55,7 @@ fn main() {
         None => vec![
             QueueKind::Lcrq,
             QueueKind::LcrqCas,
+            QueueKind::Lscq,
             QueueKind::Cc,
             QueueKind::Fc,
             QueueKind::Ms,

@@ -30,6 +30,8 @@ fn main() {
     let kinds = [
         QueueKind::Lcrq,
         QueueKind::LcrqCas,
+        QueueKind::Lscq,
+        QueueKind::LscqCas,
         QueueKind::Cc,
         QueueKind::Fc,
         QueueKind::Ms,

@@ -1,7 +1,7 @@
 //! Queue construction by name, so every harness binary sweeps the same set.
 
 use lcrq_core::infinite::InfiniteArrayQueue;
-use lcrq_core::{HierarchicalConfig, Lcrq, LcrqCas, LcrqConfig};
+use lcrq_core::{HierarchicalConfig, Lcrq, LcrqCas, LcrqConfig, Lscq, LscqCas};
 use lcrq_queues::{
     BasketsQueue, CcQueue, ConcurrentQueue, FcQueue, HQueue, MsQueue, OptimisticQueue, SimQueue,
     TwoLockQueue,
@@ -16,6 +16,10 @@ pub enum QueueKind {
     LcrqH,
     /// LCRQ with CAS-loop F&A (LCRQ-CAS).
     LcrqCas,
+    /// LSCQ: unbounded list of Nikolaev SCQ rings — single-word CAS only.
+    Lscq,
+    /// LSCQ with CAS-loop F&A (the portable family's ablation twin).
+    LscqCas,
     /// Michael & Scott nonblocking queue.
     Ms,
     /// Michael & Scott two-lock queue.
@@ -41,6 +45,8 @@ pub const ALL_KINDS: &[QueueKind] = &[
     QueueKind::LcrqH,
     QueueKind::Lcrq,
     QueueKind::LcrqCas,
+    QueueKind::Lscq,
+    QueueKind::LscqCas,
     QueueKind::H,
     QueueKind::Cc,
     QueueKind::Fc,
@@ -59,6 +65,8 @@ impl QueueKind {
             "lcrq" => Self::Lcrq,
             "lcrq+h" | "lcrq-h" => Self::LcrqH,
             "lcrq-cas" => Self::LcrqCas,
+            "lscq" => Self::Lscq,
+            "lscq-cas" => Self::LscqCas,
             "ms" => Self::Ms,
             "two-lock" => Self::TwoLock,
             "cc-queue" | "cc" => Self::Cc,
@@ -78,6 +86,8 @@ impl QueueKind {
             Self::Lcrq => "lcrq",
             Self::LcrqH => "lcrq+h",
             Self::LcrqCas => "lcrq-cas",
+            Self::Lscq => "lscq",
+            Self::LscqCas => "lscq-cas",
             Self::Ms => "ms",
             Self::TwoLock => "two-lock",
             Self::Cc => "cc-queue",
@@ -97,7 +107,7 @@ impl QueueKind {
     }
 }
 
-/// Instantiates a queue. `ring_order` applies to the LCRQ variants;
+/// Instantiates a queue. `ring_order` applies to the LCRQ/LSCQ variants;
 /// `clusters` to the hierarchical algorithms.
 pub fn make_queue(kind: QueueKind, ring_order: u32, clusters: usize) -> Box<dyn ConcurrentQueue> {
     let cfg = LcrqConfig::new().with_ring_order(ring_order);
@@ -107,6 +117,8 @@ pub fn make_queue(kind: QueueKind, ring_order: u32, clusters: usize) -> Box<dyn 
             cfg.with_hierarchical(HierarchicalConfig::default()),
         )),
         QueueKind::LcrqCas => Box::new(LcrqCas::with_config(cfg)),
+        QueueKind::Lscq => Box::new(Lscq::with_config(cfg)),
+        QueueKind::LscqCas => Box::new(LscqCas::with_config(cfg)),
         QueueKind::Ms => Box::new(MsQueue::new()),
         QueueKind::TwoLock => Box::new(TwoLockQueue::new()),
         QueueKind::Cc => Box::new(CcQueue::new()),

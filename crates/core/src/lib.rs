@@ -24,6 +24,12 @@
 //!   F&A. Generic parameter: [`lcrq_atomic::FaaPolicy`].
 //! * LCRQ+H — enable [`config::HierarchicalConfig`] to batch operations per
 //!   cluster (the paper's hierarchy-aware optimization, §4.1.1).
+//! * [`scq::Scq`] / [`scq::ScqD`] / [`Lscq`] — the portable sibling family
+//!   (Nikolaev's SCQ, arXiv:1908.04511): cycle-tagged single-word entries,
+//!   a threshold counter for livelock-free dequeue, and index indirection
+//!   for arbitrary payloads — no double-width CAS anywhere, so this
+//!   backend would run on non-x86 targets. [`Lscq`] links SCQ rings with
+//!   the same tantrum/CLOSED convention as [`Lcrq`].
 //! * [`infinite::InfiniteArrayQueue`] — the idealized Figure-2 queue the
 //!   CRQ is derived from (SWAP-based, livelock-prone; educational).
 //! * [`typed::TypedLcrq`] — a generic `T`-valued facade over the raw `u64`
@@ -50,15 +56,19 @@ pub mod config;
 pub mod crq;
 pub mod infinite;
 pub mod lcrq;
+pub mod lscq;
 pub mod node;
 pub mod pool;
+pub mod scq;
 pub mod typed;
 
 pub use config::{HierarchicalConfig, LcrqConfig};
 pub use crq::{Crq, CrqClosed};
 pub use lcrq::{Lcrq, LcrqCas, LcrqGeneric};
+pub use lscq::{Lscq, LscqCas, LscqGeneric};
 pub use pool::RingPool;
-pub use typed::TypedLcrq;
+pub use scq::{Scq, ScqD};
+pub use typed::{TypedLcrq, TypedLscq};
 
 /// The reserved "empty cell" value ⊥. User values must be strictly below it.
 pub const BOTTOM: u64 = u64::MAX;

@@ -1,0 +1,571 @@
+//! LSCQ — an unbounded MS-style linked list of [`ScqD`] rings, the
+//! portable sibling of [`Lcrq`](crate::Lcrq).
+//!
+//! Structure and protocol mirror the LCRQ (lcrq.rs) exactly: enqueuers
+//! work in the tail ring and race to append a fresh ring — pre-seeded with
+//! their item — when it tantrums; dequeuers drain the head ring and swing
+//! past it when empty, retiring abandoned rings through hazard pointers.
+//! Two SCQ-specific twists:
+//!
+//! * The abandonment double-check (the December-2013 LCRQ erratum) first
+//!   **re-arms the ring's threshold counter**: a racing enqueue may have
+//!   published its entry but not yet reset the threshold, and an exhausted
+//!   counter would otherwise let the double-check report EMPTY without
+//!   scanning — losing the item when `head` swings past the ring. With the
+//!   ring already closed its tail is frozen, so the forced scan terminates.
+//!   (Nikolaev's unbounded SCQ does the same.)
+//! * There is no recycling pool: rings are plain heap boxes, freed through
+//!   the hazard [`Domain`] once no dequeuer can still hold them.
+//!
+//! Because SCQ needs only single-word atomics, this is the one unbounded
+//! queue in the repo that would run on non-x86 targets unchanged.
+
+use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+use lcrq_atomic::{ops, CasLoopFaa, FaaPolicy, HardwareFaa};
+use lcrq_hazard::Domain;
+use lcrq_util::CachePadded;
+
+use crate::config::LcrqConfig;
+use crate::scq::ScqD;
+use crate::BOTTOM;
+
+/// The unbounded SCQ list with hardware fetch-and-add.
+pub type Lscq = LscqGeneric<HardwareFaa>;
+
+/// LSCQ-CAS: the identical algorithm with F&A emulated by a CAS loop,
+/// mirroring [`LcrqCas`](crate::LcrqCas) for the ablation.
+pub type LscqCas = LscqGeneric<CasLoopFaa>;
+
+/// An unbounded, linearizable, nonblocking MPMC FIFO queue of `u64` values
+/// (`< BOTTOM`) built from linked [`ScqD`] rings — single-word CAS only.
+///
+/// ```
+/// use lcrq_core::Lscq;
+/// let q = Lscq::new();
+/// q.enqueue(10);
+/// assert_eq!(q.dequeue(), Some(10));
+/// assert_eq!(q.dequeue(), None);
+/// ```
+pub struct LscqGeneric<P: FaaPolicy> {
+    head: CachePadded<AtomicPtr<ScqD<P>>>,
+    tail: CachePadded<AtomicPtr<ScqD<P>>>,
+    domain: Domain,
+    config: LcrqConfig,
+    /// Queue-level shutdown flag; same fence protocol as
+    /// [`LcrqGeneric::close`](crate::LcrqGeneric::close).
+    closed: AtomicBool,
+}
+
+/// Hazard slot used for the ring an operation is about to access.
+const HP_SLOT: usize = 0;
+
+impl<P: FaaPolicy> LscqGeneric<P> {
+    /// Creates an empty queue with the default [`LcrqConfig`].
+    pub fn new() -> Self {
+        Self::with_config(LcrqConfig::default())
+    }
+
+    /// Creates an empty queue with an explicit configuration
+    /// (`ring_order` sets the per-ring capacity; the LCRQ-only knobs —
+    /// starvation limit, bounded wait, hierarchy, ring pool — are ignored).
+    pub fn with_config(config: LcrqConfig) -> Self {
+        let first = Box::into_raw(Box::new(ScqD::<P>::new(&config)));
+        Self {
+            head: CachePadded::new(AtomicPtr::new(first)),
+            tail: CachePadded::new(AtomicPtr::new(first)),
+            domain: Domain::new(),
+            config,
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LcrqConfig {
+        &self.config
+    }
+
+    /// Appends `value` (must be `< BOTTOM`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue has been [`close`](Self::close)d; use
+    /// [`try_enqueue`](Self::try_enqueue) when shutdown is possible.
+    pub fn enqueue(&self, value: u64) {
+        if self.try_enqueue(value).is_err() {
+            panic!("enqueue on a closed Lscq (use try_enqueue to handle shutdown)");
+        }
+    }
+
+    /// Appends `value` (must be `< BOTTOM`) unless the queue has been
+    /// [`close`](Self::close)d, in which case the value is handed back as
+    /// `Err(value)`. Same shutdown fence as
+    /// [`LcrqGeneric::try_enqueue`](crate::LcrqGeneric::try_enqueue): the
+    /// closed flag is re-checked after a ring tantrum, so no enqueuer can
+    /// append a fresh ring to a closed queue.
+    pub fn try_enqueue(&self, value: u64) -> Result<(), u64> {
+        assert!(value != BOTTOM, "BOTTOM (u64::MAX) is reserved");
+        loop {
+            if self.closed.load(Ordering::SeqCst) {
+                return Err(value);
+            }
+            let ring = self.domain.protect(HP_SLOT, &self.tail);
+            // SAFETY: hazard-protected, so it cannot be reclaimed while we
+            // use it.
+            let ring_ref = unsafe { &*ring };
+            // Help a half-finished append: tail must point at the last ring.
+            let next = ring_ref.next.load(Ordering::SeqCst);
+            if !next.is_null() {
+                let _ = ops::ptr::cas_ptr(&self.tail, ring, next);
+                continue;
+            }
+            if ring_ref.enqueue(value).is_ok() {
+                self.domain.clear(HP_SLOT);
+                return Ok(());
+            }
+            // Ring closed. Distinguish shutdown close from tantrum close:
+            // if the *queue* is closed, fail instead of linking a new ring.
+            if self.closed.load(Ordering::SeqCst) {
+                self.domain.clear(HP_SLOT);
+                return Err(value);
+            }
+            // Tantrum: race to append a fresh ring seeded with the value.
+            let newring = Box::into_raw(Box::new(ScqD::<P>::with_seed(
+                &self.config,
+                core::slice::from_ref(&value),
+            )));
+            match ops::ptr::cas_ptr(&ring_ref.next, core::ptr::null_mut(), newring) {
+                Ok(()) => {
+                    let _ = ops::ptr::cas_ptr(&self.tail, ring, newring);
+                    self.domain.clear(HP_SLOT);
+                    return Ok(());
+                }
+                Err(_) => {
+                    // Another enqueuer linked first; ours was never
+                    // published, so a plain drop suffices.
+                    // SAFETY: unpublished and uniquely owned.
+                    drop(unsafe { Box::from_raw(newring) });
+                }
+            }
+        }
+    }
+
+    /// Closes the queue for further enqueues: every subsequent
+    /// [`try_enqueue`](Self::try_enqueue) fails and [`enqueue`](Self::enqueue)
+    /// panics, while dequeues keep draining what was already placed.
+    /// Returns `true` on the first call. The flag-then-close-the-chain
+    /// protocol (and its no-lost-item argument) is identical to
+    /// [`LcrqGeneric::close`](crate::LcrqGeneric::close).
+    pub fn close(&self) -> bool {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        loop {
+            let ring = self.domain.protect(HP_SLOT, &self.tail);
+            // SAFETY: hazard-protected.
+            let ring_ref = unsafe { &*ring };
+            ring_ref.close();
+            let next = ring_ref.next.load(Ordering::SeqCst);
+            if next.is_null() {
+                self.domain.clear(HP_SLOT);
+                return true;
+            }
+            let _ = ops::ptr::cas_ptr(&self.tail, ring, next);
+        }
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Removes the oldest value, or `None` when the queue is empty.
+    pub fn dequeue(&self) -> Option<u64> {
+        loop {
+            let ring = self.domain.protect(HP_SLOT, &self.head);
+            // SAFETY: hazard-protected.
+            let ring_ref = unsafe { &*ring };
+            if let Some(v) = ring_ref.dequeue() {
+                self.domain.clear(HP_SLOT);
+                return Some(v);
+            }
+            let next = ring_ref.next.load(Ordering::SeqCst);
+            if next.is_null() {
+                self.domain.clear(HP_SLOT);
+                return None;
+            }
+            // Abandonment double-check (the LCRQ erratum), SCQ edition:
+            // re-arm the threshold first so the check actually scans — a
+            // racing enqueue may have published its entry without yet
+            // resetting the counter. The ring is closed (it has a `next`),
+            // so its tail is frozen and the scan terminates.
+            ring_ref.reset_threshold();
+            if let Some(v) = ring_ref.dequeue() {
+                self.domain.clear(HP_SLOT);
+                return Some(v);
+            }
+            if ops::ptr::cas_ptr(&self.head, ring, next).is_ok() {
+                self.domain.clear(HP_SLOT);
+                // SAFETY: `ring` is now unreachable from the queue; hazard
+                // retirement defers the free past any straggling readers.
+                unsafe { self.domain.retire(ring) };
+            } else {
+                self.domain.clear(HP_SLOT);
+            }
+        }
+    }
+
+    /// Whether the queue appears empty (racy snapshot; `dequeue` is the
+    /// linearizable way to observe emptiness).
+    pub fn is_empty_hint(&self) -> bool {
+        let ring = self.domain.protect(HP_SLOT, &self.head);
+        // SAFETY: hazard-protected.
+        let ring_ref = unsafe { &*ring };
+        let empty = ring_ref.head_index() >= ring_ref.tail_index()
+            && ring_ref.next.load(Ordering::SeqCst).is_null();
+        self.domain.clear(HP_SLOT);
+        empty
+    }
+
+    /// Number of rings currently linked (diagnostic; racy).
+    pub fn ring_count(&self) -> usize {
+        let mut count = 0;
+        let mut cur = self.head.load(Ordering::SeqCst);
+        while !cur.is_null() {
+            count += 1;
+            // SAFETY: only used in quiescent diagnostics/tests.
+            cur = unsafe { (*cur).next.load(Ordering::SeqCst) };
+        }
+        count
+    }
+
+    /// Returns an iterator that dequeues until the queue reports empty
+    /// (repeated [`dequeue`](Self::dequeue); safe under concurrency).
+    pub fn drain(&self) -> Drain<'_, P> {
+        Drain { queue: self }
+    }
+}
+
+impl<P: FaaPolicy> Default for LscqGeneric<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: FaaPolicy> core::fmt::Debug for LscqGeneric<P> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Lscq")
+            .field("faa_policy", &P::name())
+            .field("ring_order", &self.config.ring_order)
+            .field("rings", &self.ring_count())
+            .finish()
+    }
+}
+
+impl<P: FaaPolicy> FromIterator<u64> for LscqGeneric<P> {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let q = Self::new();
+        for v in iter {
+            q.enqueue(v);
+        }
+        q
+    }
+}
+
+impl<P: FaaPolicy> Extend<u64> for LscqGeneric<P> {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.enqueue(v);
+        }
+    }
+}
+
+/// Draining iterator returned by [`LscqGeneric::drain`].
+pub struct Drain<'a, P: FaaPolicy> {
+    queue: &'a LscqGeneric<P>,
+}
+
+impl<P: FaaPolicy> Iterator for Drain<'_, P> {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        self.queue.dequeue()
+    }
+}
+
+impl<P: FaaPolicy> Drop for LscqGeneric<P> {
+    fn drop(&mut self) {
+        // Exclusive access: free the whole chain. Rings retired earlier but
+        // not yet reclaimed are freed when `domain` drops.
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            // SAFETY: exclusive access in drop.
+            let ring = unsafe { Box::from_raw(cur) };
+            cur = ring.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+// SAFETY: the queue transfers plain u64 values; all structure is atomic.
+unsafe impl<P: FaaPolicy> Send for LscqGeneric<P> {}
+unsafe impl<P: FaaPolicy> Sync for LscqGeneric<P> {}
+
+impl<P: FaaPolicy> lcrq_queues::ConcurrentQueue for LscqGeneric<P> {
+    fn enqueue(&self, value: u64) {
+        LscqGeneric::enqueue(self, value);
+    }
+    fn dequeue(&self) -> Option<u64> {
+        LscqGeneric::dequeue(self)
+    }
+    // Batch ops use the trait's scalar-loop defaults: SCQ has no multi-slot
+    // reservation path (a k-wide F&A would claim k entries whose cycles the
+    // single-word protocol cannot validate as a group).
+    fn name(&self) -> &'static str {
+        match P::name() {
+            "faa" => "lscq",
+            _ => "lscq-cas",
+        }
+    }
+    fn is_nonblocking(&self) -> bool {
+        true
+    }
+}
+
+impl<P: FaaPolicy> lcrq_queues::ClosableQueue for LscqGeneric<P> {
+    fn close(&self) -> bool {
+        LscqGeneric::close(self)
+    }
+    fn is_closed(&self) -> bool {
+        LscqGeneric::is_closed(self)
+    }
+    fn try_enqueue(&self, value: u64) -> Result<(), u64> {
+        LscqGeneric::try_enqueue(self, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrq_queues::testing;
+
+    fn tiny() -> LcrqConfig {
+        LcrqConfig::new().with_ring_order(3)
+    }
+
+    #[test]
+    fn empty_queue_returns_none() {
+        let q = Lscq::new();
+        assert_eq!(q.dequeue(), None);
+        assert!(q.is_empty_hint());
+    }
+
+    #[test]
+    fn fifo_order_sequential() {
+        let q = Lscq::with_config(tiny());
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn overflowing_one_ring_spills_into_new_rings_in_order() {
+        let q = Lscq::with_config(tiny());
+        let total = 4 * q.config().ring_size();
+        for i in 0..total {
+            q.enqueue(i);
+        }
+        assert!(q.ring_count() > 1, "tiny rings must have spilled");
+        for i in 0..total {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn drained_queue_is_reusable() {
+        let q = Lscq::with_config(tiny());
+        for round in 0..5 {
+            for i in 0..50 {
+                q.enqueue(round * 100 + i);
+            }
+            for i in 0..50 {
+                assert_eq!(q.dequeue(), Some(round * 100 + i));
+            }
+            assert_eq!(q.dequeue(), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "BOTTOM")]
+    fn enqueueing_bottom_panics() {
+        Lscq::new().enqueue(u64::MAX);
+    }
+
+    #[test]
+    fn max_value_is_enqueueable() {
+        let q = Lscq::new();
+        q.enqueue(u64::MAX - 1);
+        assert_eq!(q.dequeue(), Some(u64::MAX - 1));
+    }
+
+    #[test]
+    fn mpmc_stress_default_ring() {
+        let q = Lscq::new();
+        testing::mpmc_stress(&q, 4, 4, 10_000);
+    }
+
+    #[test]
+    fn mpmc_stress_tiny_ring_exercises_ring_switching() {
+        let q = Lscq::with_config(tiny());
+        testing::mpmc_stress(&q, 4, 4, 5_000);
+        assert!(q.ring_count() < 100, "drained rings must be retired");
+    }
+
+    #[test]
+    fn mpmc_stress_cas_variant() {
+        let q = LscqCas::new();
+        testing::mpmc_stress(&q, 4, 4, 10_000);
+    }
+
+    #[test]
+    fn mpmc_stress_cas_variant_tiny_ring() {
+        let q = LscqCas::with_config(tiny());
+        testing::mpmc_stress(&q, 4, 4, 5_000);
+    }
+
+    #[test]
+    fn model_check_against_vecdeque() {
+        for seed in [0x15C9, 0x25C9] {
+            let q = Lscq::with_config(tiny());
+            testing::model_check(&q, seed);
+        }
+    }
+
+    #[test]
+    fn pairs_workload_drains() {
+        let q = Lscq::with_config(tiny());
+        testing::pairs_smoke(&q, 4, 5_000);
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn retired_rings_are_reclaimed() {
+        let q = Lscq::with_config(LcrqConfig::new().with_ring_order(2));
+        for i in 0..10_000 {
+            q.enqueue(i);
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert!(
+            q.ring_count() < 64,
+            "ring chain kept growing: {}",
+            q.ring_count()
+        );
+    }
+
+    #[test]
+    fn names_reflect_variant() {
+        use lcrq_queues::ConcurrentQueue;
+        assert_eq!(ConcurrentQueue::name(&Lscq::new()), "lscq");
+        assert_eq!(ConcurrentQueue::name(&LscqCas::new()), "lscq-cas");
+    }
+
+    #[test]
+    fn close_fences_enqueues_but_drains_existing_items() {
+        let q = Lscq::with_config(tiny());
+        for i in 0..20 {
+            q.enqueue(i);
+        }
+        assert!(q.close());
+        assert!(!q.close(), "second close reports false");
+        assert!(q.is_closed());
+        assert_eq!(q.try_enqueue(99), Err(99));
+        for i in 0..20 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed")]
+    fn enqueue_after_close_panics() {
+        let q = Lscq::new();
+        q.close();
+        q.enqueue(1);
+    }
+
+    #[test]
+    fn close_races_with_producers_without_losing_items() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        for round in 0..20 {
+            let q = Arc::new(Lscq::with_config(tiny()));
+            let accepted = Arc::new(AtomicU64::new(0));
+            let mut handles = Vec::new();
+            for t in 0..3u64 {
+                let q = Arc::clone(&q);
+                let accepted = Arc::clone(&accepted);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        if q.try_enqueue((t << 32) | i).is_ok() {
+                            accepted.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }));
+            }
+            let closer = {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    if round % 2 == 0 {
+                        std::thread::yield_now();
+                    }
+                    q.close();
+                })
+            };
+            for h in handles {
+                h.join().unwrap();
+            }
+            closer.join().unwrap();
+            let drained = q.drain().count() as u64;
+            assert_eq!(drained, accepted.load(Ordering::SeqCst));
+        }
+    }
+
+    #[test]
+    fn dequeue_empty_is_never_transient() {
+        // An EMPTY observed by one thread with no concurrent dequeuers
+        // must mean everything enqueued so far was handed out.
+        let q = Lscq::with_config(tiny());
+        for i in 0..500 {
+            q.enqueue(i);
+        }
+        let mut seen = 0;
+        while q.dequeue().is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen, 500);
+        q.enqueue(7);
+        assert_eq!(q.dequeue(), Some(7));
+    }
+
+    #[test]
+    fn drop_with_items_across_rings_is_clean() {
+        let q = Lscq::with_config(tiny());
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        drop(q); // must not leak or double-free (ASan job covers this)
+    }
+
+    #[test]
+    fn closable_trait_object_round_trip() {
+        use lcrq_queues::ClosableQueue;
+        let q: Box<dyn ClosableQueue> = Box::new(Lscq::new());
+        q.try_enqueue(5).unwrap();
+        assert_eq!(q.dequeue(), Some(5));
+        q.close();
+        assert_eq!(q.try_enqueue(6), Err(6));
+    }
+}

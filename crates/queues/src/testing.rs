@@ -198,7 +198,11 @@ pub fn mpmc_batch_stress<Q: ConcurrentQueue>(
 /// `VecDeque` model: batch enqueues must append in slice order, batch
 /// dequeues must pop in FIFO order and report shortfalls only when the
 /// model is also empty.
+///
+/// `seed` may be overridden with the `LCRQ_TEST_SEED` env var (see
+/// [`lcrq_util::rng::test_seed`]); failures print the effective seed.
 pub fn batch_model_check<Q: ConcurrentQueue>(queue: &Q, seed: u64) {
+    let seed = lcrq_util::rng::test_seed(seed);
     let mut rng = lcrq_util::XorShift64Star::new(seed);
     let mut model: VecDeque<u64> = VecDeque::new();
     let mut next_val = 0u64;
@@ -220,7 +224,8 @@ pub fn batch_model_check<Q: ConcurrentQueue>(queue: &Q, seed: u64) {
                 assert_eq!(
                     queue.dequeue(),
                     model.pop_front(),
-                    "divergence from model at step {step}"
+                    "divergence from model at step {step} \
+                     (reproduce with LCRQ_TEST_SEED={seed})"
                 );
             }
             _ => {
@@ -233,13 +238,15 @@ pub fn batch_model_check<Q: ConcurrentQueue>(queue: &Q, seed: u64) {
                     assert_eq!(
                         Some(*v),
                         model.pop_front(),
-                        "divergence from model at step {step}, batch item {i}"
+                        "divergence from model at step {step}, batch item {i} \
+                         (reproduce with LCRQ_TEST_SEED={seed})"
                     );
                 }
                 if taken < max {
                     assert!(
                         model.is_empty(),
-                        "step {step}: short batch but model holds items"
+                        "step {step}: short batch but model holds items \
+                         (reproduce with LCRQ_TEST_SEED={seed})"
                     );
                 }
             }
@@ -253,7 +260,11 @@ pub fn batch_model_check<Q: ConcurrentQueue>(queue: &Q, seed: u64) {
 
 /// Runs a single-threaded randomized operation sequence against the queue
 /// and a `VecDeque` model, asserting identical observable behaviour.
+///
+/// `seed` may be overridden with the `LCRQ_TEST_SEED` env var (see
+/// [`lcrq_util::rng::test_seed`]); failures print the effective seed.
 pub fn model_check<Q: ConcurrentQueue>(queue: &Q, seed: u64) {
+    let seed = lcrq_util::rng::test_seed(seed);
     let mut rng = lcrq_util::XorShift64Star::new(seed);
     let mut model: VecDeque<u64> = VecDeque::new();
     let mut next_val = 0u64;
@@ -268,7 +279,8 @@ pub fn model_check<Q: ConcurrentQueue>(queue: &Q, seed: u64) {
             assert_eq!(
                 queue.dequeue(),
                 model.pop_front(),
-                "divergence from model at step {step}"
+                "divergence from model at step {step} \
+                 (reproduce with LCRQ_TEST_SEED={seed})"
             );
         }
     }

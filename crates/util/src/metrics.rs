@@ -80,9 +80,12 @@ pub enum Event {
     /// A drained ring was scrubbed (indices re-based onto a fresh reuse
     /// epoch) on its way into the recycling pool.
     RingScrub,
+    /// An SCQ dequeue returned EMPTY straight from the exhausted threshold
+    /// counter, without touching `head` (the livelock-freedom fast exit).
+    ThresholdExhausted,
 }
 
-const NUM_EVENTS: usize = Event::RingScrub as usize + 1;
+const NUM_EVENTS: usize = Event::ThresholdExhausted as usize + 1;
 
 const EVENT_NAMES: [&str; NUM_EVENTS] = [
     "faa",
@@ -114,6 +117,7 @@ const EVENT_NAMES: [&str; NUM_EVENTS] = [
     "channel_closed",
     "ring_reuse",
     "ring_scrub",
+    "threshold_exhausted",
 ];
 
 thread_local! {

@@ -81,6 +81,40 @@ impl XorShift64Star {
     }
 }
 
+/// Resolves the seed a randomized test harness should run with: the value
+/// of the `LCRQ_TEST_SEED` environment variable when set (decimal, or hex
+/// with a `0x` prefix), otherwise `default`.
+///
+/// Failing property/stress harnesses print their effective seed in the
+/// panic message; exporting it through `LCRQ_TEST_SEED` replays every
+/// randomized round with exactly that seed, turning a red CI run into a
+/// deterministic local reproduction. Unparsable values fall back to
+/// `default` rather than failing, so a typo degrades to a normal run.
+pub fn test_seed(default: u64) -> u64 {
+    match std::env::var("LCRQ_TEST_SEED") {
+        Ok(s) => parse_seed(&s).unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+/// Parses a seed string: decimal, or hex with a `0x`/`0X` prefix.
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+impl XorShift64Star {
+    /// [`new`](Self::new), but honoring the `LCRQ_TEST_SEED` override (see
+    /// [`test_seed`]).
+    pub fn from_test_seed(default: u64) -> Self {
+        Self::new(test_seed(default))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +175,21 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
         assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    fn test_seed_parses_decimal_and_hex_and_tolerates_junk() {
+        // The env var is process-global: poke the parser directly instead
+        // of racing other tests over set_var.
+        assert_eq!(parse_seed("12345"), Some(12345));
+        assert_eq!(parse_seed("0xBEEF"), Some(0xBEEF));
+        assert_eq!(parse_seed("0XbeeF"), Some(0xBEEF));
+        assert_eq!(parse_seed(" 42 "), Some(42));
+        assert_eq!(parse_seed("not-a-seed"), None);
+        // And the real resolver honors the default when the var is unset.
+        if std::env::var("LCRQ_TEST_SEED").is_err() {
+            assert_eq!(test_seed(99), 99);
+        }
     }
 
     #[test]

@@ -24,8 +24,15 @@ fn mpmc_stress_every_kind() {
 
 #[test]
 fn mpmc_stress_lcrq_variants_with_tiny_rings() {
-    // Ring switching under contention is LCRQ's trickiest path.
-    for kind in [QueueKind::Lcrq, QueueKind::LcrqCas, QueueKind::LcrqH] {
+    // Ring switching under contention is LCRQ's trickiest path; LSCQ
+    // shares the list structure but swaps in SCQ rings underneath.
+    for kind in [
+        QueueKind::Lcrq,
+        QueueKind::LcrqCas,
+        QueueKind::LcrqH,
+        QueueKind::Lscq,
+        QueueKind::LscqCas,
+    ] {
         let q = make_queue(kind, 3, 2); // R = 8
         testing::mpmc_stress(&q, 3, 3, 3_000);
     }
@@ -85,8 +92,15 @@ fn mpmc_batch_stress_every_kind() {
 fn mpmc_batch_stress_lcrq_variants_with_tiny_rings() {
     // Ring-close-mid-batch is the tentpole's trickiest path: R = 8 with
     // batches of 16 forces every reservation to overrun and spill its
-    // remainder into a freshly appended seeded ring.
-    for kind in [QueueKind::Lcrq, QueueKind::LcrqCas, QueueKind::LcrqH] {
+    // remainder into a freshly appended seeded ring. The LSCQ variants run
+    // the scalar-loop default batches over the same tiny rings.
+    for kind in [
+        QueueKind::Lcrq,
+        QueueKind::LcrqCas,
+        QueueKind::LcrqH,
+        QueueKind::Lscq,
+        QueueKind::LscqCas,
+    ] {
         let q = make_queue(kind, 3, 2); // R = 8
         testing::mpmc_batch_stress(&q, 3, 3, 3_000, 16);
     }

@@ -31,11 +31,14 @@ fn scripts(seed: u64, threads: usize, ops: usize) -> Vec<Vec<Completed>> {
 
 fn check_kind(kind: QueueKind, rounds: u64) {
     for seed in 0..rounds {
+        // LCRQ_TEST_SEED pins every round to one script seed for replay.
+        let script_seed = lcrq::util::rng::test_seed(seed * 7 + 1);
         let q = make_queue(kind, 4, 2); // tiny rings: exercise CRQ switching
-        let rec = record(&q, &scripts(seed * 7 + 1, 3, 4));
+        let rec = record(&q, &scripts(script_seed, 3, 4));
         if let Err(e) = check_fifo(&rec) {
             panic!(
-                "{}: seed {seed} produced a non-linearizable history: {e}\n{:#?}",
+                "{}: script seed {script_seed} produced a non-linearizable history \
+                 (reproduce with LCRQ_TEST_SEED={script_seed}): {e}\n{:#?}",
                 kind.name(),
                 rec.ops
             );
@@ -69,11 +72,13 @@ fn batch_scripts(seed: u64, threads: usize, ops: usize) -> Vec<Vec<Completed>> {
 
 fn check_kind_batched(kind: QueueKind, ring_order: u32, rounds: u64) {
     for seed in 0..rounds {
+        let script_seed = lcrq::util::rng::test_seed(seed * 13 + 3);
         let q = make_queue(kind, ring_order, 2);
-        let rec = record(&q, &batch_scripts(seed * 13 + 3, 3, 3));
+        let rec = record(&q, &batch_scripts(script_seed, 3, 3));
         if let Err(e) = check_fifo(&rec) {
             panic!(
-                "{}: batch seed {seed} produced a non-linearizable history: {e}\n{:#?}",
+                "{}: batch script seed {script_seed} produced a non-linearizable \
+                 history (reproduce with LCRQ_TEST_SEED={script_seed}): {e}\n{:#?}",
                 kind.name(),
                 rec.ops
             );
@@ -106,6 +111,24 @@ fn default_batch_impl_histories_are_linearizable() {
 #[test]
 fn lcrq_histories_are_linearizable() {
     check_kind(QueueKind::Lcrq, 40);
+}
+
+#[test]
+fn lscq_histories_are_linearizable() {
+    check_kind(QueueKind::Lscq, 40);
+}
+
+#[test]
+fn lscq_cas_histories_are_linearizable() {
+    check_kind(QueueKind::LscqCas, 40);
+}
+
+#[test]
+fn lscq_batch_histories_are_linearizable() {
+    // LSCQ has no native batch path: these run the trait's scalar-loop
+    // defaults over tiny rings, closing and spilling mid-batch.
+    check_kind_batched(QueueKind::Lscq, 2, 30);
+    check_kind_batched(QueueKind::LscqCas, 2, 20);
 }
 
 #[test]
@@ -166,7 +189,7 @@ fn baskets_queue_histories_are_linearizable() {
 #[test]
 fn every_kind_is_covered_by_a_linearizability_test() {
     // Guard against new registry kinds silently skipping verification.
-    assert_eq!(ALL_KINDS.len(), 12);
+    assert_eq!(ALL_KINDS.len(), 14);
 }
 
 /// The bare CRQ is a *tantrum* queue: enqueues may return CLOSED. Record

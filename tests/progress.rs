@@ -2,7 +2,8 @@
 //! and robustness to adversarial scheduling.
 
 use lcrq::util::adversary;
-use lcrq::{Lcrq, LcrqConfig};
+use lcrq::util::metrics::{self, Event};
+use lcrq::{Lcrq, LcrqConfig, Lscq};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -133,6 +134,165 @@ fn tiny_rings_never_wedge_the_queue() {
         });
     });
     assert_eq!(q.dequeue(), None);
+}
+
+/// LSCQ's livelock defence is structural, like LCRQ's: a starved ring
+/// closes and the list moves on. Enqueuers must make steady progress
+/// against an empty-dequeue storm.
+#[test]
+fn lscq_enqueues_are_not_livelocked_by_empty_dequeuers() {
+    let q = Lscq::with_config(LcrqConfig::new().with_ring_order(4));
+    let stop = AtomicBool::new(false);
+    let (q, stop) = (&q, &stop);
+    let enqueued = std::thread::scope(|s| {
+        for _ in 0..3 {
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = q.dequeue();
+                }
+            });
+        }
+        let deadline = Instant::now() + Duration::from_millis(500);
+        let mut n = 0u64;
+        while Instant::now() < deadline {
+            let _ = q.try_enqueue(n);
+            n += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        n
+    });
+    assert!(
+        enqueued > 1_000,
+        "LSCQ enqueuer should make steady progress, got {enqueued}"
+    );
+}
+
+/// LSCQ under heavy injected preemption: same fixed workload as the LCRQ
+/// adversary test, exercising the `preempt_point` hooks inside the SCQ
+/// entry loops.
+#[test]
+fn lscq_completes_under_adversarial_preemption() {
+    adversary::set_preempt_ppm(5_000);
+    let q = Lscq::with_config(LcrqConfig::new().with_ring_order(5));
+    let total = AtomicU64::new(0);
+    let (q, total) = (&q, &total);
+    std::thread::scope(|s| {
+        for t in 0..6u64 {
+            s.spawn(move || {
+                for i in 0..2_000u64 {
+                    q.enqueue(t << 40 | i);
+                    if q.dequeue().is_some() {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    adversary::set_preempt_ppm(0);
+    let mut leftover = 0;
+    while q.dequeue().is_some() {
+        leftover += 1;
+    }
+    assert_eq!(total.load(Ordering::Relaxed) + leftover, 12_000);
+}
+
+/// Tiny SCQ rings under multi-producer pressure: the list must keep
+/// absorbing items by appending fresh rings, never wedging.
+#[test]
+fn lscq_tiny_rings_never_wedge_the_queue() {
+    let q = Lscq::with_config(LcrqConfig::new().with_ring_order(1));
+    let q = &q;
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            s.spawn(move || {
+                for i in 0..2_500u64 {
+                    q.enqueue(t << 40 | i);
+                }
+            });
+        }
+        s.spawn(move || {
+            let mut got = 0u64;
+            while got < 10_000 {
+                if q.dequeue().is_some() {
+                    got += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+    });
+    assert_eq!(q.dequeue(), None);
+}
+
+/// The SCQ threshold-counter regression: a dequeue-on-empty storm must
+/// decay the threshold and then stop touching `head` entirely. If the
+/// `threshold.fetch_sub(1)` decrement were removed, the counter would sit
+/// at its maximum forever and every empty dequeue would keep issuing F&A
+/// on `head` — the Figure-2 livelock ingredient SCQ exists to rule out —
+/// and the F&A-freeze assertion below would fail.
+#[test]
+fn scq_threshold_decays_and_freezes_empty_dequeues() {
+    // Ring capacity n = 16. A fresh ring starts exhausted; one enqueue
+    // re-arms the threshold to its maximum (3n - 1 = 47) and the dequeue
+    // drains the ring again.
+    let q = Lscq::with_config(LcrqConfig::new().with_ring_order(4));
+    q.enqueue(1);
+    assert_eq!(q.dequeue(), Some(1));
+    // Decay: each empty dequeue decrements the threshold exactly once, so
+    // 4n + 16 storm iterations push it below zero with slack to spare.
+    for _ in 0..(4 * 16 + 16) {
+        assert_eq!(q.dequeue(), None);
+    }
+    // Frozen: every further empty dequeue must exit straight off the
+    // exhausted counter — zero fetch-and-add of any kind.
+    let before = metrics::local_snapshot();
+    for _ in 0..1_000 {
+        assert_eq!(q.dequeue(), None);
+    }
+    let d = metrics::local_snapshot().delta_since(&before);
+    assert_eq!(
+        d.get(Event::Faa),
+        0,
+        "exhausted-threshold dequeues must not touch head/tail"
+    );
+    assert!(
+        d.get(Event::ThresholdExhausted) >= 1_000,
+        "each empty dequeue should report the threshold fast-exit, got {}",
+        d.get(Event::ThresholdExhausted)
+    );
+    // And the queue still works afterwards: an enqueue re-arms it.
+    q.enqueue(7);
+    assert_eq!(q.dequeue(), Some(7));
+}
+
+/// Fig-2-style concurrent storm: dequeuers hammer an (almost always)
+/// empty LSCQ while a producer trickles items. Termination of this test
+/// *is* the livelock-freedom assertion — an SCQ without the threshold
+/// bound can spin dequeuers forever behind a racing enqueuer's F&A.
+#[test]
+fn scq_dequeue_storm_on_empty_queue_terminates() {
+    let q = Lscq::with_config(LcrqConfig::new().with_ring_order(3));
+    let q = &q;
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(move || {
+                let mut got = 0u64;
+                // 50k empty-heavy dequeues each; must complete promptly.
+                for _ in 0..50_000 {
+                    if q.dequeue().is_some() {
+                        got += 1;
+                    }
+                }
+                got
+            });
+        }
+        s.spawn(move || {
+            for i in 0..1_000u64 {
+                q.enqueue(i);
+            }
+        });
+    });
+    while q.dequeue().is_some() {}
 }
 
 /// The lock-based combining queues *do* lose progress when their combiner

@@ -9,7 +9,7 @@
 
 #![cfg(feature = "proptest")]
 
-use lcrq::{ConcurrentQueue, Lcrq, LcrqCas, LcrqConfig};
+use lcrq::{ConcurrentQueue, Lcrq, LcrqCas, LcrqConfig, Lscq, LscqCas};
 use lcrq_bench::{make_queue, QueueKind};
 use proptest::prelude::*;
 use std::collections::VecDeque;
@@ -86,6 +86,49 @@ proptest! {
     #[test]
     fn lcrq_cas_matches_model(steps in prop::collection::vec(step_strategy(), 0..300)) {
         run_against_model(&LcrqCas::new(), &steps);
+    }
+
+    #[test]
+    fn lscq_matches_model(steps in prop::collection::vec(step_strategy(), 0..400)) {
+        run_against_model(&Lscq::new(), &steps);
+    }
+
+    #[test]
+    fn lscq_tiny_ring_matches_model(
+        steps in prop::collection::vec(step_strategy(), 0..400),
+        order in 1u32..6,
+    ) {
+        // Tiny SCQ rings spill constantly, covering close/append/retire.
+        let q = Lscq::with_config(LcrqConfig::new().with_ring_order(order));
+        run_against_model(&q, &steps);
+    }
+
+    #[test]
+    fn lscq_cas_matches_model(steps in prop::collection::vec(step_strategy(), 0..300)) {
+        run_against_model(&LscqCas::new(), &steps);
+    }
+
+    #[test]
+    fn lscq_close_semantics_match_model(
+        order in 1u32..5,
+        n_before in 0u64..40,
+        n_after in 1u64..10,
+    ) {
+        // Accept-then-close: the accepted backlog drains FIFO; enqueues
+        // after close refuse without placing anything.
+        let q = Lscq::with_config(LcrqConfig::new().with_ring_order(order));
+        for i in 0..n_before {
+            prop_assert_eq!(q.try_enqueue(i), Ok(()));
+        }
+        prop_assert!(q.close());
+        prop_assert!(q.is_closed());
+        for i in 0..n_after {
+            prop_assert_eq!(q.try_enqueue(1_000_000 + i), Err(1_000_000 + i));
+        }
+        for i in 0..n_before {
+            prop_assert_eq!(q.dequeue(), Some(i));
+        }
+        prop_assert_eq!(q.dequeue(), None);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use lcrq::hazard::Domain;
 use lcrq::util::metrics::{self, Event};
-use lcrq::{Crq, Lcrq, LcrqConfig, RingPool, TypedLcrq};
+use lcrq::{Crq, Lcrq, LcrqConfig, Lscq, RingPool, ScqD, TypedLcrq, TypedLscq};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -339,6 +339,185 @@ fn adversary_churn_with_recycling_preserves_per_producer_fifo() {
             let (t, i) = ((v >> 48) as usize, v & ((1 << 48) - 1));
             counts[t] += 1;
             // FIFO per producer within one consumer's stream.
+            assert!(stream_last[t].is_none_or(|p| p < i), "reordered: {v:#x}");
+            stream_last[t] = Some(i);
+        }
+    }
+    for (t, &c) in counts.iter().enumerate() {
+        assert_eq!(c, PER, "producer {t}: lost or duplicated items");
+    }
+    lcrq::util::adversary::set_preempt_ppm(0);
+}
+
+// ---------------------------------------------------------------------------
+// LSCQ suite: the SCQ-ring list reuses the same hazard domain machinery but
+// frees retired rings outright (no recycle pool), so its invariants are the
+// classic ones — drop exactly once, defer while a hazard is held, no
+// unbounded garbage.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lscq_typed_values_drop_exactly_once_through_ring_churn() {
+    let drops = Arc::new(AtomicUsize::new(0));
+    let q: TypedLscq<DropCounter> = TypedLscq::with_config(LcrqConfig::new().with_ring_order(2));
+    const N: usize = 5_000;
+    for _ in 0..N {
+        q.enqueue(DropCounter(Arc::clone(&drops)));
+    }
+    for _ in 0..N / 2 {
+        drop(q.dequeue().expect("items present"));
+    }
+    assert_eq!(drops.load(Ordering::SeqCst), N / 2);
+    drop(q);
+    assert_eq!(drops.load(Ordering::SeqCst), N, "queue drop frees the rest");
+}
+
+#[test]
+fn lscq_ring_churn_does_not_accumulate_rings() {
+    let q = Lscq::with_config(LcrqConfig::new().with_ring_order(2));
+    for round in 0..200u64 {
+        for i in 0..100 {
+            q.enqueue(round * 1000 + i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(round * 1000 + i));
+        }
+    }
+    assert!(
+        q.ring_count() <= 3,
+        "live SCQ ring chain should stay short, got {}",
+        q.ring_count()
+    );
+}
+
+#[test]
+fn lscq_concurrent_churn_then_quiescent_drop() {
+    let q = Lscq::with_config(LcrqConfig::new().with_ring_order(3));
+    let q = &q;
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            s.spawn(move || {
+                for i in 0..10_000u64 {
+                    q.enqueue(t << 40 | i);
+                    let _ = q.dequeue();
+                }
+            });
+        }
+    });
+    while q.dequeue().is_some() {}
+}
+
+/// Reclaimer used by the LSCQ stalled-reader test: count frees into a sink
+/// the test can observe instead of dropping silently.
+static SCQ_RINGS_FREED: AtomicUsize = AtomicUsize::new(0);
+unsafe fn count_scq_ring_free(p: *mut ()) {
+    // SAFETY: `p` is the Box::into_raw ScqD retired below; the hazard
+    // domain hands it over with sole ownership.
+    drop(unsafe { Box::from_raw(p as *mut ScqD) });
+    SCQ_RINGS_FREED.fetch_add(1, Ordering::SeqCst);
+}
+
+#[test]
+fn lscq_stalled_hazard_reader_defers_ring_reclamation() {
+    // The SCQ twist on the stalled-reader ABA scenario: a dequeuer preempted
+    // between protecting the head ring and acting on its entry views must
+    // keep the ring alive — if it were freed (or its slots reused) under
+    // the hazard, the reader's cycle-tagged views would alias a new
+    // incarnation.
+    lcrq::util::adversary::set_preempt_ppm(10_000);
+    let domain = Domain::new();
+    let ring: Box<ScqD> = Box::new(ScqD::new(&LcrqConfig::new().with_ring_order(3)));
+    for i in 0..5 {
+        ring.enqueue(i).unwrap();
+    }
+    while ring.dequeue().is_some() {}
+    ring.close();
+    let top_before = ring.head_index().max(ring.tail_index());
+    let raw = Box::into_raw(ring);
+
+    // Reader stalls holding a hazard pointer on the ring...
+    domain.protect_raw(0, raw as *mut ());
+    // ...while the ring is retired.
+    // SAFETY: `raw` is unreachable from any queue; the stalled hazard above
+    // is exactly what retirement must (and does) respect.
+    unsafe { domain.retire_with(raw as *mut (), count_scq_ring_free) };
+    domain.scan();
+    assert_eq!(
+        SCQ_RINGS_FREED.load(Ordering::SeqCst),
+        0,
+        "protected SCQ ring must not be freed"
+    );
+    // The stalled reader's world is intact: the ring is still the closed,
+    // drained incarnation it protected.
+    // SAFETY: still hazard-protected.
+    let r = unsafe { &*raw };
+    assert!(r.is_closed());
+    assert_eq!(r.head_index().max(r.tail_index()), top_before);
+    assert_eq!(r.dequeue(), None, "still drained, still answerable");
+
+    // Only after the reader releases its hazard is the ring reclaimed.
+    domain.clear(0);
+    domain.scan();
+    assert_eq!(
+        SCQ_RINGS_FREED.load(Ordering::SeqCst),
+        1,
+        "quiescent SCQ ring is freed exactly once"
+    );
+    lcrq::util::adversary::set_preempt_ppm(0);
+}
+
+#[test]
+fn lscq_adversary_churn_preserves_per_producer_fifo() {
+    // MPMC churn through tiny SCQ rings with the scheduler adversary
+    // injecting preemptions inside the entry CAS windows: per-producer
+    // sequences must come out strictly in order, each value exactly once —
+    // an ABA through a reclaimed ring would surface as loss or duplication.
+    lcrq::util::adversary::set_preempt_ppm(20_000);
+    let q = Lscq::with_config(LcrqConfig::new().with_ring_order(2));
+    const PRODUCERS: u64 = 2;
+    const PER: u64 = 20_000;
+    let q = &q;
+    let seen: Vec<Vec<u64>> = std::thread::scope(|s| {
+        for t in 0..PRODUCERS {
+            s.spawn(move || {
+                for i in 0..PER {
+                    q.enqueue(t << 48 | i);
+                }
+            });
+        }
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    let mut misses = 0u32;
+                    while misses < 1_000 {
+                        match q.dequeue() {
+                            Some(v) => {
+                                misses = 0;
+                                got.push(v);
+                            }
+                            None => {
+                                misses += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        consumers.into_iter().map(|c| c.join().unwrap()).collect()
+    });
+    let mut remaining: Vec<u64> = Vec::new();
+    while let Some(v) = q.dequeue() {
+        remaining.push(v);
+    }
+    let mut counts = vec![0u64; PRODUCERS as usize];
+    for stream in seen.iter().chain(std::iter::once(&remaining)) {
+        let mut stream_last = vec![None::<u64>; PRODUCERS as usize];
+        for &v in stream {
+            let (t, i) = ((v >> 48) as usize, v & ((1 << 48) - 1));
+            counts[t] += 1;
             assert!(stream_last[t].is_none_or(|p| p < i), "reordered: {v:#x}");
             stream_last[t] = Some(i);
         }
