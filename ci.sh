@@ -34,6 +34,36 @@ echo "==> SCQ/LSCQ gate"
 cargo test -p lcrq-core -q scq
 cargo test --test linearizability -q lscq
 
+# Fault-injection gate (DESIGN.md "Fault injection & degradation"): the
+# fail-point registry's own unit suite, the crash-tolerance harness, and a
+# deterministic multi-seed stress sweep. Each seed replays an identical
+# schedule, so a failure here is reproducible with LCRQ_TEST_SEED alone.
+echo "==> fault-injection gate"
+cargo test -p lcrq-util --features fault-injection -q
+cargo test --features fault-injection --test fault_tolerance -q
+for seed in 0x1 0x2 0x3 0x5EED 0xC0FFEE 0xDEADBEEF 0xFA175EED 0xFFFFFFFF; do
+    echo "    stress sweep seed=$seed"
+    LCRQ_TEST_SEED=$seed \
+        cargo test --features fault-injection --test fault_tolerance -q \
+        stress_sweep
+done
+
+# Zero-cost assertion: the default (feature-off) release binary must not
+# contain the fault registry at all — every inject() site compiles to
+# nothing, not even the disabled-check load.
+echo "==> fault registry absent from default build"
+probe_bin=$(cargo test --release -q --test progress --no-run \
+    --message-format=json 2>/dev/null |
+    grep -o '"executable":"[^"]*"' | head -1 | cut -d'"' -f4)
+if [ -n "$probe_bin" ] && command -v nm >/dev/null 2>&1; then
+    if nm -C "$probe_bin" 2>/dev/null | grep -qi 'fault.*registry\|fault::inject'; then
+        echo "fault registry symbols leaked into the default build"
+        exit 1
+    fi
+else
+    echo "    (nm probe unavailable; relying on the cfg unit test)"
+fi
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -46,6 +46,10 @@ pub struct HardwareFaa;
 impl FaaPolicy for HardwareFaa {
     #[inline]
     fn fetch_add(a: &AtomicU64, v: u64) -> u64 {
+        // Fail point before the XADD: hardware F&A cannot spuriously fail
+        // (`Fail` is ignored), but a stall/yield here models a thread
+        // crashed right at its index reservation.
+        let _ = lcrq_util::fault::inject(lcrq_util::fault::Site::Faa);
         metrics::inc(Event::Faa);
         a.fetch_add(v, Ordering::SeqCst)
     }
@@ -69,6 +73,14 @@ impl FaaPolicy for CasLoopFaa {
             // preemption landing here wastes the whole attempt (see
             // lcrq_util::adversary; disabled by default).
             lcrq_util::adversary::preempt_point();
+            if lcrq_util::fault::inject(lcrq_util::fault::Site::Faa) {
+                // Injected spurious CAS failure: waste this attempt exactly
+                // as a contending increment would.
+                metrics::inc(Event::CasAttempt);
+                metrics::inc(Event::CasFailure);
+                cur = a.load(Ordering::Acquire);
+                continue;
+            }
             metrics::inc(Event::CasAttempt);
             match a.compare_exchange(
                 cur,

@@ -30,6 +30,11 @@ pub fn tas_bit(a: &AtomicU64, bit: u32) -> bool {
 /// counted in the T&S family, like [`tas_bit`].
 #[inline]
 pub fn or_bits(a: &AtomicU64, mask: u64) -> u64 {
+    // Fail point before the RMW: the fetch-OR itself is unconditional, so
+    // `Fail` has no spurious-failure reading here (yield/stall/panic widen
+    // the consume window instead; SCQ's dequeue window arms `ScqDequeue`
+    // for a retryable spurious consume failure).
+    let _ = lcrq_util::fault::inject(lcrq_util::fault::Site::OrBits);
     metrics::inc(Event::Tas);
     a.fetch_or(mask, Ordering::SeqCst)
 }

@@ -88,6 +88,15 @@ impl AtomicPair {
     /// Records [`Event::Cas2Attempt`] / [`Event::Cas2Failure`].
     #[inline]
     pub fn compare_exchange(&self, old: (u64, u64), new: (u64, u64)) -> Result<(), (u64, u64)> {
+        if lcrq_util::fault::inject(lcrq_util::fault::Site::Cas2) {
+            // Injected spurious CAS2 failure: report the current contents
+            // without attempting the exchange. Callers must already cope
+            // with losing the real race (re-read and retry), so a spurious
+            // loss exercises the same path without weakening the protocol.
+            metrics::inc(Event::Cas2Attempt);
+            metrics::inc(Event::Cas2Failure);
+            return Err(self.load());
+        }
         self.compare_exchange_internal(old, new, true)
     }
 

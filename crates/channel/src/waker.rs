@@ -78,6 +78,9 @@ impl WakerRegistry {
     /// *after* this returns (the registration is the async analogue of
     /// `EventCount::prepare`; the re-poll closes the lost-wakeup window).
     pub(crate) fn register(&self, waker: &Waker) -> Registration {
+        // Fail point in the register→re-poll window: a delay here widens
+        // the lost-wakeup race the mandatory re-poll exists to close.
+        let _ = lcrq_util::fault::inject(lcrq_util::fault::Site::WakerRegister);
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
         let entry = Box::into_raw(Box::new(Entry {
             id,

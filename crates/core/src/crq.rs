@@ -108,10 +108,14 @@ impl<P: FaaPolicy> Crq<P> {
         let ring: Vec<Node> = (0..size).map(Node::new).collect();
         for (u, &x) in seed.iter().enumerate() {
             debug_assert!(x != BOTTOM);
-            let v = ring[u].read();
-            let ok = ring[u].try_enqueue(&v, u as u64, x);
-            debug_assert!(ok);
-            let _ = ok;
+            // Exclusive ownership: the CAS2 can only fail spuriously (the
+            // `cas2` fail point); retry until the seed is placed.
+            loop {
+                let v = ring[u].read();
+                if ring[u].try_enqueue(&v, u as u64, x) {
+                    break;
+                }
+            }
         }
         let tail = seed.len() as u64;
         metrics::inc(Event::RingAlloc);
@@ -162,6 +166,13 @@ impl<P: FaaPolicy> Crq<P> {
             // F&A winner races for, so even a mid-window preemption rarely
             // fails it — and a preempted operation blocks nobody.
             lcrq_util::adversary::preempt_point();
+            // Fail point between the F&A and the CAS2 placement: `Fail`
+            // force-closes the ring (an injected tantrum), `Panic` aborts
+            // the enqueue with the tail index consumed but the slot never
+            // filled — dequeuers must skip it via the empty transition.
+            if lcrq_util::fault::inject(lcrq_util::fault::Site::CrqEnqueue) {
+                self.close();
+            }
             if view.is_empty()
                 && view.idx <= t
                 && (view.safe || self.head.load(Ordering::SeqCst) <= t)
@@ -191,6 +202,7 @@ impl<P: FaaPolicy> Crq<P> {
                 metrics::inc(Event::NodeVisit);
                 let view = node.read();
                 lcrq_util::adversary::preempt_point(); // inside the read→CAS2 window
+                let _ = lcrq_util::fault::inject(lcrq_util::fault::Site::CrqDequeue);
                 if view.idx > h {
                     break; // overtaken between our F&A and the read
                 }
@@ -284,6 +296,9 @@ impl<P: FaaPolicy> Crq<P> {
                 metrics::inc(Event::NodeVisit);
                 let view = node.read();
                 lcrq_util::adversary::preempt_point(); // read→CAS2 window
+                if lcrq_util::fault::inject(lcrq_util::fault::Site::CrqEnqueue) {
+                    self.close(); // injected tantrum, as in the scalar path
+                }
                 if view.is_empty()
                     && view.idx <= t
                     && (view.safe || self.head.load(Ordering::SeqCst) <= t)
@@ -352,6 +367,7 @@ impl<P: FaaPolicy> Crq<P> {
                 metrics::inc(Event::NodeVisit);
                 let view = node.read();
                 lcrq_util::adversary::preempt_point(); // read→CAS2 window
+                let _ = lcrq_util::fault::inject(lcrq_util::fault::Site::CrqDequeue);
                 if view.idx > h {
                     break; // overtaken between the reservation and the read
                 }
@@ -497,10 +513,14 @@ impl<P: FaaPolicy> Crq<P> {
         for (j, &x) in seed.iter().enumerate() {
             debug_assert!(x != BOTTOM, "BOTTOM is reserved");
             let node = self.node(base + j as u64);
-            let v = node.read();
-            let ok = node.try_enqueue(&v, base + j as u64, x);
-            debug_assert!(ok, "scrubbed nodes accept their seed");
-            let _ = ok;
+            // Exclusive ownership: scrubbed nodes accept their seed, so the
+            // CAS2 can only fail spuriously (the `cas2` fail point); retry.
+            loop {
+                let v = node.read();
+                if node.try_enqueue(&v, base + j as u64, x) {
+                    break;
+                }
+            }
         }
         self.tail.store(base + seed.len() as u64, Ordering::SeqCst);
     }

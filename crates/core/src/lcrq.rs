@@ -18,6 +18,9 @@ use std::sync::Arc;
 
 use lcrq_atomic::{ops, CasLoopFaa, FaaPolicy, HardwareFaa};
 use lcrq_hazard::Domain;
+use lcrq_queues::EnqueueError;
+use lcrq_util::backoff::Backoff;
+use lcrq_util::metrics::{self, Event};
 use lcrq_util::spin::SpinDeadline;
 use lcrq_util::topology::current_cluster;
 use lcrq_util::CachePadded;
@@ -100,18 +103,36 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
         &self.pool
     }
 
+    /// The queue's hazard-pointer domain (diagnostic: lets tests assert the
+    /// calling thread's retired-ring backlog stays within the domain's
+    /// reclamation [`threshold`](Domain::threshold) even while other
+    /// participants are stalled holding published hazards).
+    pub fn hazard_domain(&self) -> &Domain {
+        &self.domain
+    }
+
     /// Produces a fresh open ring seeded with `seed`: recycled from the
     /// pool when possible (allocation-free), otherwise heap-allocated.
     /// Either way the ring carries the pool back-pointer, so its eventual
     /// retirement recycles it.
-    fn alloc_ring(&self, seed: &[u64]) -> *mut Crq<P> {
+    ///
+    /// Returns `None` only when the pool had no ring **and** the heap
+    /// allocation was refused — today that refusal exists only as the
+    /// `ring-alloc` fail point, but the plumbing is the graceful-degradation
+    /// path a real fallible allocator would use. The caller surfaces it as
+    /// [`EnqueueError::AllocFailed`] instead of aborting.
+    fn try_alloc_ring(&self, seed: &[u64]) -> Option<*mut Crq<P>> {
         if let Some(ring) = self.pool.pop(&self.domain, HP_POOL_SLOT) {
             ring.reseed(seed);
-            return Box::into_raw(ring);
+            return Some(Box::into_raw(ring));
+        }
+        if lcrq_util::fault::inject(lcrq_util::fault::Site::RingAlloc) {
+            metrics::inc(Event::AllocDegraded);
+            return None;
         }
         let ring = Box::new(Crq::<P>::with_seed_batch(&self.config, seed));
         ring.attach_pool(Arc::downgrade(&self.pool));
-        Box::into_raw(ring)
+        Some(Box::into_raw(ring))
     }
 
     /// Disposes of a spill ring that lost its link race: back to the pool
@@ -172,10 +193,35 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
     /// after finding the tail ring tantrum-closed, so no enqueuer can
     /// append a fresh ring to a closed queue.
     pub fn try_enqueue(&self, value: u64) -> Result<(), u64> {
+        let mut backoff: Option<Backoff> = None;
+        loop {
+            match self.try_enqueue_fallible(value) {
+                Ok(()) => return Ok(()),
+                Err(EnqueueError::Closed(v)) => return Err(v),
+                Err(EnqueueError::AllocFailed(_)) => {
+                    // A refused ring allocation is transient (the pool can
+                    // refill, the injected refusal is probabilistic): back
+                    // off and retry, preserving this method's historical
+                    // "closed is the only failure" contract. Callers that
+                    // want to *see* the refusal use
+                    // [`try_enqueue_fallible`](Self::try_enqueue_fallible).
+                    backoff.get_or_insert_with(Backoff::jittered).spin();
+                }
+            }
+        }
+    }
+
+    /// Like [`try_enqueue`](Self::try_enqueue), but also surfaces a refused
+    /// ring allocation as [`EnqueueError::AllocFailed`] instead of retrying
+    /// internally. The queue stays open and fully usable after an
+    /// `AllocFailed` — the value was not placed and is handed back, so the
+    /// caller may retry, shed load, or propagate the error.
+    pub fn try_enqueue_fallible(&self, value: u64) -> Result<(), EnqueueError> {
         assert!(value != BOTTOM, "BOTTOM (u64::MAX) is reserved");
+        let mut backoff: Option<Backoff> = None;
         loop {
             if self.closed.load(Ordering::SeqCst) {
-                return Err(value);
+                return Err(EnqueueError::Closed(value));
             }
             let crq = self.domain.protect(HP_SLOT, &self.tail);
             // SAFETY: `crq` is hazard-protected, so it cannot be reclaimed
@@ -197,11 +243,17 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
             // fail instead of appending a fresh ring past the fence.
             if self.closed.load(Ordering::SeqCst) {
                 self.domain.clear(HP_SLOT);
-                return Err(value);
+                return Err(EnqueueError::Closed(value));
             }
+            // Fail point in the close-race window: between observing the
+            // tantrum and racing to link a replacement ring.
+            let _ = lcrq_util::fault::inject(lcrq_util::fault::Site::CloseRace);
             // Tantrum: race to append a fresh ring seeded with value
             // (recycled from the pool when one is available).
-            let newring = self.alloc_ring(core::slice::from_ref(&value));
+            let Some(newring) = self.try_alloc_ring(core::slice::from_ref(&value)) else {
+                self.domain.clear(HP_SLOT);
+                return Err(EnqueueError::AllocFailed(value));
+            };
             match ops::ptr::cas_ptr(&crq_ref.next, core::ptr::null_mut(), newring) {
                 Ok(()) => {
                     let _ = ops::ptr::cas_ptr(&self.tail, crq, newring);
@@ -212,6 +264,11 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
                     // Another enqueuer linked first; ours was never linked.
                     // SAFETY: newring is unpublished and uniquely owned.
                     self.release_ring(unsafe { Box::from_raw(newring) });
+                    // Lost link race: the winner's ring has room, but under
+                    // heavy churn repeated losses waste an allocation each
+                    // round — bounded backoff with deterministic jitter
+                    // de-synchronizes the contenders.
+                    backoff.get_or_insert_with(Backoff::jittered).spin();
                 }
             }
         }
@@ -352,6 +409,7 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
         }
         let mut rest = values;
         let mut placed_total = 0usize;
+        let mut backoff: Option<Backoff> = None;
         while !rest.is_empty() {
             if self.closed.load(Ordering::SeqCst) {
                 self.domain.clear(HP_SLOT);
@@ -383,12 +441,19 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
                 self.domain.clear(HP_SLOT);
                 return Err(placed_total);
             }
+            // Fail point in the close-race window (as in the scalar path).
+            let _ = lcrq_util::fault::inject(lcrq_util::fault::Site::CloseRace);
             // Tantrum mid-batch: spill the remainder (up to one ring's
             // worth) into a fresh ring — recycled from the pool when
             // possible — and race to link it, exactly like the scalar
             // path's seeded ring.
             let seed_len = (rest.len() as u64).min(self.config.ring_size()) as usize;
-            let newring = self.alloc_ring(&rest[..seed_len]);
+            let Some(newring) = self.try_alloc_ring(&rest[..seed_len]) else {
+                // Refused allocation is transient here: back off and retry
+                // rather than reporting a partial batch as a shutdown.
+                backoff.get_or_insert_with(Backoff::jittered).spin();
+                continue;
+            };
             match ops::ptr::cas_ptr(&crq_ref.next, core::ptr::null_mut(), newring) {
                 Ok(()) => {
                     let _ = ops::ptr::cas_ptr(&self.tail, crq, newring);
@@ -399,6 +464,7 @@ impl<P: FaaPolicy> LcrqGeneric<P> {
                     // Another enqueuer linked first; ours was never linked.
                     // SAFETY: newring is unpublished and uniquely owned.
                     self.release_ring(unsafe { Box::from_raw(newring) });
+                    backoff.get_or_insert_with(Backoff::jittered).spin();
                 }
             }
         }
@@ -589,6 +655,11 @@ impl<P: FaaPolicy> lcrq_queues::ClosableQueue for LcrqGeneric<P> {
     }
     fn try_enqueue(&self, value: u64) -> Result<(), u64> {
         LcrqGeneric::try_enqueue(self, value)
+    }
+    // Native override: surfaces a refused ring allocation as
+    // `AllocFailed` instead of the default's retry-until-closed.
+    fn try_enqueue_fallible(&self, value: u64) -> Result<(), EnqueueError> {
+        LcrqGeneric::try_enqueue_fallible(self, value)
     }
 }
 

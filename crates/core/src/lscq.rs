@@ -24,6 +24,9 @@ use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 
 use lcrq_atomic::{ops, CasLoopFaa, FaaPolicy, HardwareFaa};
 use lcrq_hazard::Domain;
+use lcrq_queues::EnqueueError;
+use lcrq_util::backoff::Backoff;
+use lcrq_util::metrics::{self, Event};
 use lcrq_util::CachePadded;
 
 use crate::config::LcrqConfig;
@@ -85,6 +88,14 @@ impl<P: FaaPolicy> LscqGeneric<P> {
         &self.config
     }
 
+    /// The queue's hazard-pointer domain (diagnostic: lets tests assert the
+    /// calling thread's retired-ring backlog stays within the domain's
+    /// reclamation threshold even while other participants are stalled
+    /// holding published hazards).
+    pub fn hazard_domain(&self) -> &Domain {
+        &self.domain
+    }
+
     /// Appends `value` (must be `< BOTTOM`).
     ///
     /// # Panics
@@ -104,10 +115,32 @@ impl<P: FaaPolicy> LscqGeneric<P> {
     /// closed flag is re-checked after a ring tantrum, so no enqueuer can
     /// append a fresh ring to a closed queue.
     pub fn try_enqueue(&self, value: u64) -> Result<(), u64> {
+        let mut backoff: Option<Backoff> = None;
+        loop {
+            match self.try_enqueue_fallible(value) {
+                Ok(()) => return Ok(()),
+                Err(EnqueueError::Closed(v)) => return Err(v),
+                Err(EnqueueError::AllocFailed(_)) => {
+                    // Transient (injected) refusal: back off and retry,
+                    // preserving the "closed is the only failure" contract.
+                    backoff.get_or_insert_with(Backoff::jittered).spin();
+                }
+            }
+        }
+    }
+
+    /// Like [`try_enqueue`](Self::try_enqueue), but also surfaces a refused
+    /// ring allocation as [`EnqueueError::AllocFailed`] instead of retrying
+    /// internally (the refusal exists today only as the `ring-alloc` fail
+    /// point — the LSCQ has no recycling pool, so every spill allocates).
+    /// The queue stays open after an `AllocFailed`; the value is handed
+    /// back unplaced.
+    pub fn try_enqueue_fallible(&self, value: u64) -> Result<(), EnqueueError> {
         assert!(value != BOTTOM, "BOTTOM (u64::MAX) is reserved");
+        let mut backoff: Option<Backoff> = None;
         loop {
             if self.closed.load(Ordering::SeqCst) {
-                return Err(value);
+                return Err(EnqueueError::Closed(value));
             }
             let ring = self.domain.protect(HP_SLOT, &self.tail);
             // SAFETY: hazard-protected, so it cannot be reclaimed while we
@@ -127,7 +160,15 @@ impl<P: FaaPolicy> LscqGeneric<P> {
             // if the *queue* is closed, fail instead of linking a new ring.
             if self.closed.load(Ordering::SeqCst) {
                 self.domain.clear(HP_SLOT);
-                return Err(value);
+                return Err(EnqueueError::Closed(value));
+            }
+            // Fail point in the close-race window: between observing the
+            // tantrum and racing to link a replacement ring.
+            let _ = lcrq_util::fault::inject(lcrq_util::fault::Site::CloseRace);
+            if lcrq_util::fault::inject(lcrq_util::fault::Site::RingAlloc) {
+                metrics::inc(Event::AllocDegraded);
+                self.domain.clear(HP_SLOT);
+                return Err(EnqueueError::AllocFailed(value));
             }
             // Tantrum: race to append a fresh ring seeded with the value.
             let newring = Box::into_raw(Box::new(ScqD::<P>::with_seed(
@@ -145,6 +186,9 @@ impl<P: FaaPolicy> LscqGeneric<P> {
                     // published, so a plain drop suffices.
                     // SAFETY: unpublished and uniquely owned.
                     drop(unsafe { Box::from_raw(newring) });
+                    // Lost link race: bounded jittered backoff before the
+                    // next round de-synchronizes the contenders.
+                    backoff.get_or_insert_with(Backoff::jittered).spin();
                 }
             }
         }
@@ -339,6 +383,11 @@ impl<P: FaaPolicy> lcrq_queues::ClosableQueue for LscqGeneric<P> {
     }
     fn try_enqueue(&self, value: u64) -> Result<(), u64> {
         LscqGeneric::try_enqueue(self, value)
+    }
+    // Native override: surfaces a refused ring allocation as
+    // `AllocFailed` instead of the default's retry-until-closed.
+    fn try_enqueue_fallible(&self, value: u64) -> Result<(), EnqueueError> {
+        LscqGeneric::try_enqueue_fallible(self, value)
     }
 }
 

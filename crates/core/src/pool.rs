@@ -150,6 +150,9 @@ impl<P: FaaPolicy> RingPool<P> {
                 Err(cur) => len = cur,
             }
         }
+        // Fail point around the scrub: the ring is exclusively owned here, so
+        // a stall/panic leaks at most this one ring, never corrupts the pool.
+        let _ = lcrq_util::fault::inject(lcrq_util::fault::Site::PoolScrub);
         if !ring.scrub() {
             // Index space nearly exhausted: this ring must die, not recycle.
             self.len.fetch_sub(1, Ordering::SeqCst);
@@ -230,6 +233,10 @@ impl<P: FaaPolicy> RingPool<P> {
             // may already be popped (and even retired/freed) — retry without
             // dereferencing it.
             domain.protect_raw(slot, p as *mut ());
+            // Fail point inside the protect→revalidate window: a delay here
+            // maximizes the chance a racing popper retires `p` while our
+            // hazard is the only thing keeping it alive.
+            let _ = lcrq_util::fault::inject(lcrq_util::fault::Site::PoolPop);
             if self.top.load() != (version, raw) {
                 continue;
             }

@@ -197,8 +197,14 @@ impl<P: FaaPolicy> Scq<P> {
                     && idx == self.bottom_index()
                     && (safe || self.head.load(Ordering::SeqCst) <= t)
                 {
-                    // The read→CAS window a preemption can waste.
+                    // The read→CAS window a preemption can waste. A `Fail`
+                    // here is a spurious CAS miss: re-read and retry, the
+                    // same path a lost race takes.
                     adversary::preempt_point();
+                    if lcrq_util::fault::inject(lcrq_util::fault::Site::ScqEnqueue) {
+                        e = self.entries[j].load(Ordering::SeqCst);
+                        continue;
+                    }
                     match ops::cas(&self.entries[j], e, self.pack(tcycle, true, index)) {
                         Ok(()) => {
                             // Re-arm the threshold *after* publishing the
@@ -243,6 +249,12 @@ impl<P: FaaPolicy> Scq<P> {
                     // (index := ⊥) cannot clobber anything except a racing
                     // unsafe-marking, which it preserves.
                     adversary::preempt_point();
+                    // `Fail` = spurious consume failure: re-read the slot
+                    // and re-run the transition logic before the fetch-OR.
+                    if lcrq_util::fault::inject(lcrq_util::fault::Site::ScqDequeue) {
+                        e = self.entries[j].load(Ordering::SeqCst);
+                        continue;
+                    }
                     let prev = ops::or_bits(&self.entries[j], self.index_mask());
                     let (_, _, v) = self.unpack(prev);
                     debug_assert!(v != self.bottom_index());

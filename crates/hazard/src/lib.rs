@@ -248,6 +248,11 @@ impl Domain {
         let mut ptr = src.load(Ordering::Acquire);
         loop {
             hazard.store(ptr as *mut (), Ordering::SeqCst);
+            // Fail point inside the publish→revalidate window. A `Stall`
+            // here parks the thread *holding a published hazard* — the
+            // adversary that inflates retired lists, which scans must
+            // tolerate within the 2·records·slots+16 threshold.
+            let _ = lcrq_util::fault::inject(lcrq_util::fault::Site::HazardProtect);
             let again = src.load(Ordering::SeqCst);
             if again == ptr {
                 return ptr;
@@ -332,6 +337,9 @@ impl Domain {
     /// Attempts to reclaim retired objects (the calling thread's list plus
     /// any orphans). Returns the number of objects freed.
     pub fn scan(&self) -> usize {
+        // Fail point before the hazard collection: a yield/stall here races
+        // the snapshot against concurrent protect/retire traffic.
+        let _ = lcrq_util::fault::inject(lcrq_util::fault::Site::HazardScan);
         metrics::inc(Event::HazardScan);
         // Take ownership of this thread's retired list and the orphans.
         let mut candidates = self.with_entry(|e| core::mem::take(&mut e.retired));

@@ -73,6 +73,43 @@ pub trait ConcurrentQueue: Send + Sync {
     fn is_nonblocking(&self) -> bool;
 }
 
+/// Why a fallible enqueue rejected a value. Returned by
+/// [`ClosableQueue::try_enqueue_fallible`]; the rejected value rides along
+/// so the caller can retry or surface it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The queue is closed: no enqueue will ever succeed again.
+    Closed(u64),
+    /// The queue needed a fresh ring but its allocation was refused (pool
+    /// empty and the — possibly fault-injected — allocator declined). The
+    /// queue stays open and usable; the condition is transient, so a
+    /// retry may succeed. This is the graceful-degradation alternative to
+    /// aborting on allocation failure.
+    AllocFailed(u64),
+}
+
+impl EnqueueError {
+    /// The value the enqueue handed back.
+    pub fn value(self) -> u64 {
+        match self {
+            EnqueueError::Closed(v) | EnqueueError::AllocFailed(v) => v,
+        }
+    }
+}
+
+impl core::fmt::Display for EnqueueError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EnqueueError::Closed(v) => write!(f, "enqueue of {v} on a closed queue"),
+            EnqueueError::AllocFailed(v) => {
+                write!(f, "enqueue of {v} could not allocate a fresh ring")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnqueueError {}
+
 /// A [`ConcurrentQueue`] that supports shutdown: enqueues can be fenced off
 /// while dequeues keep draining what was already placed.
 ///
@@ -101,6 +138,17 @@ pub trait ClosableQueue: ConcurrentQueue {
     /// Appends `value`, or returns it as `Err(value)` if the queue is
     /// closed.
     fn try_enqueue(&self, value: u64) -> Result<(), u64>;
+
+    /// Like [`try_enqueue`](ClosableQueue::try_enqueue), but distinguishes
+    /// *why* the value was rejected — and, for implementations with a
+    /// fallible allocation path, surfaces a refused ring allocation as
+    /// [`EnqueueError::AllocFailed`] instead of retrying internally.
+    ///
+    /// The default forwards to `try_enqueue` (whose only failure is
+    /// [`EnqueueError::Closed`]); ring-based queues override it.
+    fn try_enqueue_fallible(&self, value: u64) -> Result<(), EnqueueError> {
+        self.try_enqueue(value).map_err(EnqueueError::Closed)
+    }
 }
 
 impl<Q: ConcurrentQueue + ?Sized> ConcurrentQueue for &Q {
@@ -176,6 +224,9 @@ impl<Q: ClosableQueue + ?Sized> ClosableQueue for &Q {
     fn try_enqueue(&self, value: u64) -> Result<(), u64> {
         (**self).try_enqueue(value)
     }
+    fn try_enqueue_fallible(&self, value: u64) -> Result<(), EnqueueError> {
+        (**self).try_enqueue_fallible(value)
+    }
 }
 
 impl<Q: ClosableQueue + ?Sized> ClosableQueue for Box<Q> {
@@ -188,6 +239,9 @@ impl<Q: ClosableQueue + ?Sized> ClosableQueue for Box<Q> {
     fn try_enqueue(&self, value: u64) -> Result<(), u64> {
         (**self).try_enqueue(value)
     }
+    fn try_enqueue_fallible(&self, value: u64) -> Result<(), EnqueueError> {
+        (**self).try_enqueue_fallible(value)
+    }
 }
 
 impl<Q: ClosableQueue + ?Sized> ClosableQueue for std::sync::Arc<Q> {
@@ -199,6 +253,9 @@ impl<Q: ClosableQueue + ?Sized> ClosableQueue for std::sync::Arc<Q> {
     }
     fn try_enqueue(&self, value: u64) -> Result<(), u64> {
         (**self).try_enqueue(value)
+    }
+    fn try_enqueue_fallible(&self, value: u64) -> Result<(), EnqueueError> {
+        (**self).try_enqueue_fallible(value)
     }
 }
 

@@ -10,6 +10,7 @@
 pub mod adversary;
 pub mod affinity;
 pub mod backoff;
+pub mod fault;
 pub mod hist;
 pub mod metrics;
 pub mod pad;

@@ -83,9 +83,15 @@ pub enum Event {
     /// An SCQ dequeue returned EMPTY straight from the exhausted threshold
     /// counter, without touching `head` (the livelock-freedom fast exit).
     ThresholdExhausted,
+    /// A fail point fired under the `fault-injection` feature (any action;
+    /// see `lcrq_util::fault`).
+    FaultInjected,
+    /// A fallible enqueue degraded to `AllocFailed` because the ring pool
+    /// was empty and the (injected) allocator refused a fresh ring.
+    AllocDegraded,
 }
 
-const NUM_EVENTS: usize = Event::ThresholdExhausted as usize + 1;
+const NUM_EVENTS: usize = Event::AllocDegraded as usize + 1;
 
 const EVENT_NAMES: [&str; NUM_EVENTS] = [
     "faa",
@@ -118,6 +124,8 @@ const EVENT_NAMES: [&str; NUM_EVENTS] = [
     "ring_reuse",
     "ring_scrub",
     "threshold_exhausted",
+    "fault_injected",
+    "alloc_degraded",
 ];
 
 thread_local! {

@@ -162,6 +162,9 @@ impl EventCount {
     /// Step 3: parks until a notify arrives after `ticket` was issued.
     /// Returns immediately — without a syscall — if one already has.
     pub fn wait(&self, ticket: Ticket) {
+        // Fail point inside the poll→sleep window: the spot where a crashed
+        // waiter (or a lost wakeup, if the protocol were wrong) would hang.
+        let _ = crate::fault::inject(crate::fault::Site::ChannelPark);
         let mut sleepers = lock(&self.sleepers);
         if self.epoch.load(Ordering::SeqCst) != ticket.epoch {
             drop(sleepers);
@@ -182,6 +185,7 @@ impl EventCount {
     /// Like [`wait`](Self::wait) with a timeout. Returns `true` if woken by
     /// a notify (or the epoch had already moved), `false` on timeout.
     pub fn wait_timeout(&self, ticket: Ticket, timeout: Duration) -> bool {
+        let _ = crate::fault::inject(crate::fault::Site::ChannelPark);
         let deadline = Instant::now() + timeout;
         let mut sleepers = lock(&self.sleepers);
         if self.epoch.load(Ordering::SeqCst) != ticket.epoch {

@@ -81,6 +81,19 @@ impl XorShift64Star {
     }
 }
 
+/// The SplitMix64 finalizer (Steele et al., 2014): a cheap bijective
+/// mixer. Used to derive decorrelated per-thread stream seeds from a
+/// shared base seed and a thread ordinal — unlike raw xorshift seeding,
+/// nearby inputs (ordinals 1, 2, 3, ...) produce statistically unrelated
+/// outputs.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// Resolves the seed a randomized test harness should run with: the value
 /// of the `LCRQ_TEST_SEED` environment variable when set (decimal, or hex
 /// with a `0x` prefix), otherwise `default`.

@@ -1,0 +1,362 @@
+//! Fault-injection robustness suite (tentpole of the robustness PR).
+//!
+//! Compiled only with `--features fault-injection`; the default build gets
+//! an empty test binary. Everything here drives the `lcrq_util::fault`
+//! registry: deterministic seeds (honoring `LCRQ_TEST_SEED`), per-site
+//! probabilities, and the stall gate that simulates crashed threads.
+//!
+//! The registry is process-global, so every test serializes on [`guard`].
+
+#![cfg(feature = "fault-injection")]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use lcrq::core::LcrqConfig;
+use lcrq::hazard::{Domain, SLOTS_PER_THREAD};
+use lcrq::queues::testing::{encode, mpmc_stress};
+use lcrq::queues::EnqueueError;
+use lcrq::util::fault::{self, FaultAction, Scenario, Site};
+use lcrq::util::rng::test_seed;
+use lcrq::{ConcurrentQueue, Lcrq, Lscq, LscqCas};
+
+/// Serializes tests: the fail-point registry is process-global.
+static LOCK: Mutex<()> = Mutex::new(());
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tiny() -> LcrqConfig {
+    LcrqConfig::new().with_ring_order(4) // R = 16: frequent ring turnover
+}
+
+/// Crash-tolerance harness: stall `STALLS` of `WORKERS` threads at their
+/// most dangerous sites (hazard publish→revalidate, pre-F&A) and require
+/// the survivors to finish a fixed op budget anyway — the operational
+/// reading of the paper's nonblocking progress claim. While the stalled
+/// threads hold published hazards, the retired-ring backlog of every live
+/// thread must stay within the hazard-pointer reclamation bound. After
+/// release, exactly-once delivery must hold across *all* threads.
+fn crash_tolerant<Q, D>(label: &str, q: &Q, domain_of: D)
+where
+    Q: ConcurrentQueue,
+    D: Fn(&Q) -> &Domain + Sync,
+{
+    const WORKERS: usize = 8;
+    const STALLS: usize = 2;
+    const BUDGET: u64 = 2_000;
+    let seed = test_seed(0x57A1_1ED5_EED0_0001);
+    let scenario = Scenario::new(seed)
+        .with(Site::HazardProtect, 400_000, FaultAction::Stall)
+        .with(Site::Faa, 400_000, FaultAction::Stall)
+        .max_stalls(STALLS as u64);
+    let stext = scenario.to_string();
+    scenario.arm();
+
+    let done = AtomicUsize::new(0);
+    // 0 = no violation; otherwise the offending retired-list length. The
+    // workers report instead of asserting so a violation cannot strand the
+    // scope join behind still-stalled threads.
+    let bound_violation = AtomicUsize::new(0);
+    let (done, bound_violation, domain_of) = (&done, &bound_violation, &domain_of);
+
+    let all: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..BUDGET {
+                        q.enqueue(encode(t, i));
+                        if let Some(v) = q.dequeue() {
+                            got.push(v);
+                        }
+                        if i % 256 == 0 {
+                            let d = domain_of(q);
+                            let retired = d.retired_count();
+                            let bound = 2 * (2 * d.record_count() * SLOTS_PER_THREAD + 16);
+                            if retired > bound {
+                                bound_violation.store(retired, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                    got
+                })
+            })
+            .collect();
+
+        // Survivors must complete their budget while the stalled threads
+        // stay parked; a deadline turns a progress failure into a report
+        // instead of a hang (disarm first so the scope can still join).
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while done.load(Ordering::SeqCst) < WORKERS - STALLS {
+            if Instant::now() >= deadline {
+                fault::disarm();
+                panic!(
+                    "[{label}] survivors starved with {STALLS} peers stalled \
+                     under [{stext}] (replay with LCRQ_TEST_SEED={seed:#x})"
+                );
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stalled = fault::stalled_count();
+        fault::disarm(); // release the "crashed" threads so they can join
+        assert_eq!(
+            stalled, STALLS,
+            "[{label}] expected exactly {STALLS} stalled threads under [{stext}] \
+             (replay with LCRQ_TEST_SEED={seed:#x})"
+        );
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let violation = bound_violation.load(Ordering::SeqCst);
+    assert_eq!(
+        violation, 0,
+        "[{label}] retired-ring backlog {violation} exceeded the hazard bound \
+         while peers were stalled under [{stext}] (replay with LCRQ_TEST_SEED={seed:#x})"
+    );
+
+    // Exactly-once delivery across survivors, released threads, and the
+    // final drain.
+    let mut seen: Vec<u64> = all.into_iter().flatten().collect();
+    while let Some(v) = q.dequeue() {
+        seen.push(v);
+    }
+    let total = WORKERS as u64 * BUDGET;
+    assert_eq!(
+        seen.len() as u64,
+        total,
+        "[{label}] lost items under [{stext}] (replay with LCRQ_TEST_SEED={seed:#x})"
+    );
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(
+        seen.len() as u64,
+        total,
+        "[{label}] duplicated items under [{stext}] (replay with LCRQ_TEST_SEED={seed:#x})"
+    );
+    assert_eq!(q.dequeue(), None, "[{label}] queue should be drained");
+}
+
+#[test]
+fn survivors_outlive_stalled_peers_lcrq() {
+    let _g = guard();
+    let q = Lcrq::with_config(tiny());
+    crash_tolerant("lcrq", &q, |q: &Lcrq| q.hazard_domain());
+}
+
+#[test]
+fn survivors_outlive_stalled_peers_lscq() {
+    let _g = guard();
+    let q = Lscq::with_config(tiny());
+    crash_tolerant("lscq", &q, |q: &Lscq| q.hazard_domain());
+}
+
+#[test]
+fn survivors_outlive_stalled_peers_lscq_cas() {
+    let _g = guard();
+    let q = LscqCas::with_config(tiny());
+    crash_tolerant("lscq-cas", &q, |q: &LscqCas| q.hazard_domain());
+}
+
+/// Same seed ⇒ byte-identical hit log, end to end through the real queue
+/// (the unit tests in `lcrq-util` check the registry in isolation).
+#[test]
+fn same_seed_replays_an_identical_hit_log() {
+    let _g = guard();
+
+    fn run(seed: u64) -> Vec<fault::SiteHit> {
+        let scenario = Scenario::new(seed)
+            .recording(true)
+            .with(Site::Cas2, 50_000, FaultAction::Fail)
+            .with(Site::CrqEnqueue, 5_000, FaultAction::Fail)
+            .with(Site::CrqDequeue, 50_000, FaultAction::Yield);
+        scenario.arm();
+        let q = Lcrq::with_config(LcrqConfig::new().with_ring_order(3));
+        for i in 0..2_000 {
+            q.enqueue(i);
+        }
+        while q.dequeue().is_some() {}
+        fault::disarm();
+        fault::take_hit_log()
+    }
+
+    let a = run(0xD1CE);
+    let b = run(0xD1CE);
+    assert!(!a.is_empty(), "the scenario must actually fire");
+    assert_eq!(a, b, "same seed must replay the exact same fault schedule");
+    let c = run(0xBEEF);
+    assert_ne!(a, c, "distinct seeds must produce distinct schedules");
+}
+
+/// Graceful degradation: when the pool is empty and the (injected)
+/// allocator refuses a fresh ring, `try_enqueue_fallible` reports
+/// `AllocFailed` with the value handed back — the queue stays open and
+/// recovers as soon as allocation succeeds again.
+#[test]
+fn refused_ring_allocation_degrades_instead_of_aborting() {
+    let _g = guard();
+    let seed = test_seed(0xA110_C000_0000_0001);
+
+    // LCRQ with the recycling pool disabled: every spill must allocate.
+    let q = Lcrq::with_config(
+        LcrqConfig::new()
+            .with_ring_order(3)
+            .with_ring_pool_capacity(0),
+    );
+    Scenario::new(seed)
+        .with(Site::RingAlloc, 1_000_000, FaultAction::Fail)
+        .arm();
+    let mut placed = 0u64;
+    let err = loop {
+        match q.try_enqueue_fallible(placed) {
+            Ok(()) => placed += 1,
+            Err(e) => break e,
+        }
+        assert!(placed < 10_000, "the first ring never filled");
+    };
+    assert_eq!(err, EnqueueError::AllocFailed(placed));
+    assert!(
+        !q.is_closed(),
+        "a refused allocation must not close the queue"
+    );
+    fault::disarm();
+    // Allocator "recovered": the same value goes through, FIFO intact.
+    q.try_enqueue_fallible(placed).unwrap();
+    for i in 0..=placed {
+        assert_eq!(q.dequeue(), Some(i));
+    }
+    assert_eq!(q.dequeue(), None);
+
+    // LSCQ: no pool at all, same surface.
+    let q = Lscq::with_config(LcrqConfig::new().with_ring_order(3));
+    Scenario::new(seed)
+        .with(Site::RingAlloc, 1_000_000, FaultAction::Fail)
+        .arm();
+    let mut placed = 0u64;
+    let err = loop {
+        match q.try_enqueue_fallible(placed) {
+            Ok(()) => placed += 1,
+            Err(e) => break e,
+        }
+        assert!(placed < 10_000, "the first ring never filled");
+    };
+    assert_eq!(err, EnqueueError::AllocFailed(placed));
+    assert!(!q.is_closed());
+    fault::disarm();
+    q.try_enqueue_fallible(placed).unwrap();
+    for i in 0..=placed {
+        assert_eq!(q.dequeue(), Some(i));
+    }
+    assert_eq!(q.dequeue(), None);
+}
+
+/// Panic-safety: a producer that dies between its F&A reservation and the
+/// CAS2 placement wastes its slot but corrupts nothing — dequeuers skip
+/// the hole and every other item is delivered exactly once, in order.
+#[test]
+fn producer_panic_between_faa_and_placement_leaves_the_ring_consistent() {
+    let _g = guard();
+    let seed = test_seed(0x9A21_C000_0000_0001);
+    let q = Lcrq::with_config(LcrqConfig::new().with_ring_order(3));
+    for i in 0..5 {
+        q.enqueue(i);
+    }
+    Scenario::new(seed)
+        .with_limited(Site::CrqEnqueue, 1_000_000, FaultAction::Panic, 1)
+        .arm();
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| q.enqueue(777)));
+    fault::disarm();
+    let payload = r.expect_err("the armed panic must fire");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        msg.contains("crq-enqueue"),
+        "panic payload must name the site: {msg}"
+    );
+    // The crashed enqueue's item was never placed; the queue remains fully
+    // usable and FIFO for everything else.
+    for i in 5..10 {
+        q.enqueue(i);
+    }
+    let drained: Vec<u64> = q.drain().collect();
+    assert_eq!(drained, (0..10).collect::<Vec<_>>());
+}
+
+/// A receiver permanently stalled inside the park window must not keep
+/// `close()` from settling, and the wakeup it missed while stalled must
+/// still be delivered once it is released (the mandatory re-poll).
+#[test]
+fn channel_close_settles_with_a_receiver_stalled_at_park() {
+    let _g = guard();
+    let seed = test_seed(0xC105_E000_0000_0001);
+    let (tx, rx) = lcrq::channel::channel::<u64>();
+    Scenario::new(seed)
+        .with(Site::ChannelPark, 1_000_000, FaultAction::Stall)
+        .max_stalls(1)
+        .arm();
+    std::thread::scope(|s| {
+        let h = s.spawn(|| {
+            let first = rx.recv();
+            let second = rx.recv();
+            (first, second)
+        });
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while fault::stalled_count() < 1 {
+            if Instant::now() >= deadline {
+                fault::disarm();
+                panic!("receiver never reached the park site (LCRQ_TEST_SEED={seed:#x})");
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The stalled receiver must not block the sender-side lifecycle.
+        tx.send(7).unwrap();
+        assert!(tx.close());
+        assert!(tx.is_closed());
+        fault::disarm();
+        let (first, second) = h.join().unwrap();
+        assert_eq!(first.ok(), Some(7), "released receiver must see the send");
+        assert!(second.is_err(), "closed and drained must be terminal");
+    });
+}
+
+/// Seeded stress sweep: a mixed mild scenario over every injected layer,
+/// under the full MPMC exactly-once/FIFO harness. Any failure reports the
+/// exact scenario and seed to replay (the CI gate runs this across a sweep
+/// of `LCRQ_TEST_SEED` values).
+#[test]
+fn stress_sweep() {
+    let _g = guard();
+    let seed = test_seed(0xFA17_5EED_0000_0001);
+    let scenario = Scenario::new(seed)
+        .with(Site::Cas2, 3_000, FaultAction::Fail)
+        .with(Site::Faa, 1_500, FaultAction::Fail)
+        .with(Site::ScqEnqueue, 3_000, FaultAction::Fail)
+        .with(Site::ScqDequeue, 3_000, FaultAction::Fail)
+        .with(Site::CrqEnqueue, 300, FaultAction::Fail)
+        .with(Site::CloseRace, 2_000, FaultAction::Yield)
+        .with(Site::RingAlloc, 20_000, FaultAction::Fail)
+        .with(Site::PoolPop, 2_000, FaultAction::Yield)
+        .with(Site::PoolScrub, 2_000, FaultAction::Yield)
+        .with(Site::HazardScan, 2_000, FaultAction::Yield)
+        .with(Site::CrqDequeue, 1_000, FaultAction::SpinDelay(64));
+    let stext = scenario.to_string();
+    scenario.arm();
+    let result = std::panic::catch_unwind(|| {
+        let q = Lcrq::with_config(tiny());
+        mpmc_stress(&q, 3, 3, 4_000);
+        let q = Lscq::with_config(tiny());
+        mpmc_stress(&q, 3, 3, 4_000);
+        let q = LscqCas::with_config(tiny());
+        mpmc_stress(&q, 2, 2, 2_000);
+    });
+    fault::disarm();
+    if let Err(e) = result {
+        eprintln!("fault scenario in effect: [{stext}]");
+        eprintln!("replay with LCRQ_TEST_SEED={seed:#x}");
+        std::panic::resume_unwind(e);
+    }
+}
