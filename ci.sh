@@ -34,6 +34,25 @@ echo "==> SCQ/LSCQ gate"
 cargo test -p lcrq-core -q scq
 cargo test --test linearizability -q lscq
 
+# Sharded front-end gate (DESIGN.md "Sharded front-end & semantic
+# relaxation"): the relaxation checker's own unit suite, the QueueSpec
+# round-trip suite, then the seeded relaxed stress entry points replayed
+# under four LCRQ_TEST_SEED values against both inner backend families
+# (sharded:inner=lcrq and sharded:inner=lscq), and finally shard_scaling
+# emitting the machine-readable perf-trajectory artifact
+# results/BENCH_shard.json (nonzero exit if measured relaxation ever
+# exceeds the analytic envelope).
+echo "==> sharded front-end gate"
+cargo test -p lcrq-verify -q relaxed
+cargo test -p lcrq-bench -q registry
+for seed in 0x1 0x5EED 0xC0FFEE 0xDEADBEEF; do
+    echo "    sharded seeded stress seed=$seed"
+    LCRQ_TEST_SEED=$seed cargo test --test sharded -q seeded_stress
+done
+echo "    shard_scaling -> results/BENCH_shard.json"
+cargo run --release -q -p lcrq-bench --bin shard_scaling -- \
+    --threads 8 --shards 1,8 --d 2 --pairs 4000 --relax-ops 1000 >/dev/null
+
 # Fault-injection gate (DESIGN.md "Fault injection & degradation"): the
 # fail-point registry's own unit suite, the crash-tolerance harness, and a
 # deterministic multi-seed stress sweep. Each seed replays an identical

@@ -3,7 +3,7 @@
 //! CRQ); throughput should rise with R and saturate.
 
 use lcrq_bench::microbench::Runner;
-use lcrq_bench::{make_queue, run_workload, QueueKind, RunConfig};
+use lcrq_bench::{run_workload, QueueKind, QueueSpec, RunConfig};
 
 fn main() {
     let runner = Runner::new();
@@ -14,7 +14,9 @@ fn main() {
             &format!("lcrq/2^{order}"),
             2 * threads as u64,
             |iters| {
-                let q = make_queue(QueueKind::Lcrq, order, 1);
+                let q = QueueSpec::backend(QueueKind::Lcrq)
+                    .with_ring_order(order)
+                    .build();
                 let mut cfg = RunConfig::new(threads);
                 cfg.pairs = iters.max(1);
                 cfg.max_delay_ns = 0;

@@ -3,7 +3,7 @@
 //! jitter).
 
 use lcrq_bench::microbench::Runner;
-use lcrq_bench::{make_queue, run_workload, QueueKind, RunConfig};
+use lcrq_bench::{run_workload, QueueKind, QueueSpec, RunConfig};
 
 fn main() {
     let runner = Runner::new();
@@ -22,7 +22,7 @@ fn main() {
         let group = format!("pairs_{threads}thread");
         for &k in &kinds {
             runner.bench(&group, k.name(), 2 * threads as u64, |iters| {
-                let q = make_queue(k, 12, 1);
+                let q = QueueSpec::backend(k).build();
                 let mut cfg = RunConfig::new(threads);
                 cfg.pairs = iters.max(1);
                 cfg.max_delay_ns = 0;

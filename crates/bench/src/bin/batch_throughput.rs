@@ -13,7 +13,7 @@
 //!         [--queues lcrq,lcrq-cas,ms]`
 
 use lcrq_bench::cli::Cli;
-use lcrq_bench::{make_queue, run_workload, QueueKind, RunConfig};
+use lcrq_bench::{run_workload, QueueKind, QueueSpec, RunConfig};
 
 fn main() {
     let cli = Cli::from_env();
@@ -25,19 +25,20 @@ fn main() {
         eprintln!("error: --batches values must be >= 1 (got {bad})");
         std::process::exit(2);
     }
-    let kinds: Vec<QueueKind> = match cli.get_str("queues") {
-        Some(s) => s
-            .split(',')
-            .map(|name| match QueueKind::parse(name) {
-                Some(k) => k,
-                None => {
-                    eprintln!("error: unknown queue '{name}' in --queues");
-                    std::process::exit(2);
-                }
-            })
+    let specs: Vec<QueueSpec> = match cli.get_str("queues") {
+        Some(s) => QueueSpec::parse_list(s).unwrap_or_else(|e| {
+            eprintln!("error: --queues: {e}");
+            std::process::exit(2);
+        }),
+        None => [QueueKind::Lcrq, QueueKind::LcrqCas, QueueKind::Ms]
+            .into_iter()
+            .map(QueueSpec::backend)
             .collect(),
-        None => vec![QueueKind::Lcrq, QueueKind::LcrqCas, QueueKind::Ms],
     };
+    let specs: Vec<QueueSpec> = specs
+        .into_iter()
+        .map(|s| s.with_ring_order(ring_order))
+        .collect();
 
     println!("# Batched pairs workload — {threads} threads, {pairs} pairs/thread, ring R = 2^{ring_order}");
     println!(
@@ -46,11 +47,11 @@ fn main() {
     println!(
         "|-------|---------|--------|--------|---------------|----------------|----------------|"
     );
-    for &k in &kinds {
+    for spec in &specs {
         for &batch in &batches {
             let mut cfg = RunConfig::new(threads).with_batch(batch);
             cfg.pairs = pairs;
-            let q = make_queue(k, ring_order, 1);
+            let q = spec.build();
             let r = run_workload(&q, &cfg);
             let c = &r.counters;
             let fmt_mean = |v: f64| {
@@ -62,7 +63,7 @@ fn main() {
             };
             println!(
                 "| {} | {batch} | {:.3} | {:.3} | {:.2} | {} | {} |",
-                k.name(),
+                spec,
                 r.mops,
                 c.faa_per_op(),
                 c.atomic_ops_per_op(),

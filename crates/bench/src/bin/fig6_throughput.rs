@@ -15,9 +15,12 @@
 //! Usage: `fig6_throughput [--threads 1,2,4,8,16,20] [--pairs 20000]
 //!         [--runs 3] [--ring-order 12] [--oversubscribed]
 //!         [--queues lcrq,lcrq-cas,lscq,cc-queue,fc-queue,ms]`
+//!
+//! `--queues` takes spec strings (`sharded:shards=8,d=2,inner=lcrq` works;
+//! separate parameterized specs with `;`).
 
 use lcrq_bench::cli::Cli;
-use lcrq_bench::{make_queue, run_workload, QueueKind, RunConfig};
+use lcrq_bench::{run_workload, QueueKind, QueueSpec, RunConfig};
 use lcrq_util::{set_wait_mode, WaitMode};
 
 fn main() {
@@ -50,16 +53,29 @@ fn main() {
     let pairs: u64 = cli.get("pairs", if over { 5_000 } else { 20_000 });
     let runs: usize = cli.get("runs", 3usize);
     let ring_order: u32 = cli.get("ring-order", 12u32);
-    let kinds: Vec<QueueKind> = match cli.get_str("queues") {
-        Some(s) => s.split(',').filter_map(QueueKind::parse).collect(),
-        None => vec![
+    let specs: Vec<QueueSpec> = match cli.get_str("queues") {
+        Some(s) => QueueSpec::parse_list(s).unwrap_or_else(|e| panic!("--queues: {e}")),
+        None => [
             QueueKind::Lcrq,
             QueueKind::LcrqCas,
             QueueKind::Lscq,
             QueueKind::Cc,
             QueueKind::Fc,
             QueueKind::Ms,
-        ],
+        ]
+        .into_iter()
+        .map(QueueSpec::backend)
+        .collect(),
+    };
+    // An explicit --ring-order overrides every spec; otherwise each spec's
+    // own ring= (or the default) stands.
+    let specs: Vec<QueueSpec> = if cli.get_str("ring-order").is_some() {
+        specs
+            .into_iter()
+            .map(|s| s.with_ring_order(ring_order))
+            .collect()
+    } else {
+        specs
     };
 
     println!(
@@ -69,24 +85,24 @@ fn main() {
     );
     println!("# pairs/thread = {pairs}, runs = {runs} (median), ring R = 2^{ring_order}");
     print!("| threads |");
-    for k in &kinds {
-        print!(" {} |", k.name());
+    for s in &specs {
+        print!(" {s} |");
     }
     println!();
     print!("|---------|");
-    for _ in &kinds {
+    for _ in &specs {
         print!("---|");
     }
     println!();
     for &t in &threads {
         print!("| {t} |");
-        for &k in &kinds {
+        for spec in &specs {
             let mut cfg = RunConfig::new(t);
             cfg.pairs = pairs;
             let mut best = 0.0f64;
             let mut all = Vec::new();
             for _ in 0..runs {
-                let q = make_queue(k, ring_order, 1);
+                let q = spec.build();
                 let r = run_workload(&q, &cfg);
                 all.push(r.mops);
                 best = best.max(r.mops);

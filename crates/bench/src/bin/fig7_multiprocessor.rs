@@ -16,7 +16,7 @@
 //!         [--runs 3] [--ring-order 12] [--clusters 4] [--prefill 65536]`
 
 use lcrq_bench::cli::Cli;
-use lcrq_bench::{make_queue, run_workload, QueueKind, RunConfig};
+use lcrq_bench::{run_workload, QueueKind, QueueSpec, RunConfig};
 
 fn main() {
     let cli = Cli::from_env();
@@ -30,13 +30,20 @@ fn main() {
     // P1): emulates preemption landing inside critical windows, which this
     // 1-core host's natural scheduling cannot produce.
     lcrq_util::adversary::set_preempt_ppm(cli.get("preempt-ppm", 0u32));
-    let kinds = [
+    let specs: Vec<QueueSpec> = [
         QueueKind::LcrqH,
         QueueKind::Lcrq,
         QueueKind::LcrqCas,
         QueueKind::H,
         QueueKind::Cc,
-    ];
+    ]
+    .into_iter()
+    .map(|k| {
+        QueueSpec::backend(k)
+            .with_ring_order(ring_order)
+            .with_clusters(clusters)
+    })
+    .collect();
 
     println!(
         "# Figure 7{}: {} simulated clusters, queue initially {} (Mops/s)",
@@ -46,25 +53,25 @@ fn main() {
     );
     println!("# pairs/thread = {pairs}, runs = {runs} (median), ring R = 2^{ring_order}");
     print!("| threads |");
-    for k in &kinds {
-        print!(" {} |", k.name());
+    for s in &specs {
+        print!(" {} |", s.family());
     }
     println!();
     print!("|---------|");
-    for _ in &kinds {
+    for _ in &specs {
         print!("---|");
     }
     println!();
     for &t in &threads {
         print!("| {t} |");
-        for &k in &kinds {
+        for spec in &specs {
             let mut cfg = RunConfig::new(t);
             cfg.pairs = pairs;
             cfg.prefill = prefill;
             cfg.clusters = clusters;
             let mut all = Vec::new();
             for _ in 0..runs {
-                let q = make_queue(k, ring_order, clusters);
+                let q = spec.build();
                 all.push(run_workload(&q, &cfg).mops);
             }
             all.sort_by(f64::total_cmp);

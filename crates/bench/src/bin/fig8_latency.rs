@@ -11,7 +11,7 @@
 //!         [--clusters 1] [--queues lcrq,cc-queue,fc-queue,ms]`
 
 use lcrq_bench::cli::Cli;
-use lcrq_bench::{make_queue, run_workload, QueueKind, RunConfig};
+use lcrq_bench::{run_workload, QueueKind, QueueSpec, RunConfig};
 
 fn main() {
     let cli = Cli::from_env();
@@ -23,10 +23,17 @@ fn main() {
     // P1): emulates preemption landing inside critical windows, which this
     // 1-core host's natural scheduling cannot produce.
     lcrq_util::adversary::set_preempt_ppm(cli.get("preempt-ppm", 0u32));
-    let kinds: Vec<QueueKind> = match cli.get_str("queues") {
-        Some(s) => s.split(',').filter_map(QueueKind::parse).collect(),
-        None => vec![QueueKind::Lcrq, QueueKind::Cc, QueueKind::Fc, QueueKind::Ms],
+    let specs: Vec<QueueSpec> = match cli.get_str("queues") {
+        Some(s) => QueueSpec::parse_list(s).unwrap_or_else(|e| panic!("--queues: {e}")),
+        None => [QueueKind::Lcrq, QueueKind::Cc, QueueKind::Fc, QueueKind::Ms]
+            .into_iter()
+            .map(QueueSpec::backend)
+            .collect(),
     };
+    let specs: Vec<QueueSpec> = specs
+        .into_iter()
+        .map(|s| s.with_ring_order(ring_order).with_clusters(clusters))
+        .collect();
 
     println!("# Figure 8: operation latency CDF at {threads} threads");
     println!("# pairs/thread = {pairs}, ring R = 2^{ring_order}, clusters = {clusters}");
@@ -35,19 +42,19 @@ fn main() {
     let percentiles = [10.0, 25.0, 50.0, 75.0, 80.0, 90.0, 95.0, 97.0, 99.0, 99.9];
     print!("| percentile |");
     let mut hists = Vec::new();
-    for &k in &kinds {
-        print!(" {} (ns) |", k.name());
+    for spec in &specs {
+        print!(" {} (ns) |", spec.family());
         let mut cfg = RunConfig::new(threads);
         cfg.pairs = pairs;
         cfg.clusters = clusters;
         cfg.record_latency = true;
-        let q = make_queue(k, ring_order, clusters);
+        let q = spec.build();
         let r = run_workload(&q, &cfg);
         hists.push(r.latency.expect("latency requested"));
     }
     println!();
     print!("|------------|");
-    for _ in &kinds {
+    for _ in &specs {
         print!("---|");
     }
     println!();
@@ -61,12 +68,12 @@ fn main() {
     println!();
     println!("## CDF points (fraction of ops completing within bound)");
     print!("| bound |");
-    for k in &kinds {
-        print!(" {} |", k.name());
+    for s in &specs {
+        print!(" {} |", s.family());
     }
     println!();
     print!("|-------|");
-    for _ in &kinds {
+    for _ in &specs {
         print!("---|");
     }
     println!();

@@ -12,7 +12,7 @@
 //!         [--orders 3,5,7,9,11,13,15,17] [--clusters 1]`
 
 use lcrq_bench::cli::Cli;
-use lcrq_bench::{make_queue, run_workload, QueueKind, RunConfig};
+use lcrq_bench::{run_workload, QueueKind, QueueSpec, RunConfig};
 
 fn main() {
     let cli = Cli::from_env();
@@ -39,9 +39,10 @@ fn main() {
     let mut cfg = RunConfig::new(threads);
     cfg.pairs = pairs;
     cfg.clusters = clusters;
+    let ref_spec = QueueSpec::backend(ref_kind).with_clusters(clusters);
     let mut ref_runs: Vec<f64> = (0..runs)
         .map(|_| {
-            let q = make_queue(ref_kind, 12, clusters);
+            let q = ref_spec.build();
             run_workload(&q, &cfg).mops
         })
         .collect();
@@ -64,9 +65,12 @@ fn main() {
     );
     println!("|-----------|---|-----------|-------|");
     for &order in &orders {
+        let spec = QueueSpec::backend(kind)
+            .with_ring_order(order as u32)
+            .with_clusters(clusters);
         let mut all: Vec<f64> = (0..runs)
             .map(|_| {
-                let q = make_queue(kind, order as u32, clusters);
+                let q = spec.build();
                 run_workload(&q, &cfg).mops
             })
             .collect();

@@ -1,0 +1,347 @@
+//! Sharded front-end scaling sweep (extension beyond the paper): N
+//! producers / N consumers throughput across `shards × d` configurations
+//! of the d-choice front-end against the plain inner backend, with the
+//! measured relaxation of every configuration checked against its
+//! analytic rank-error envelope.
+//!
+//! Two measurements per row:
+//!
+//! * **Throughput** — a producer/consumer workload (each producer moves
+//!   `--pairs` items, consumers drain until every item is out) timed
+//!   wall-clock, reported in Mops/s.
+//! * **Relaxation** — a shorter recorded history (global-clock
+//!   instrumentation from `lcrq-verify`) replayed through
+//!   [`measure_relaxation`]: empirical max/mean rank error, asserted
+//!   against [`QueueSpec::rank_error_bound`]. A violation fails the run
+//!   (nonzero exit), so CI can gate on it.
+//!
+//! ## Contention emulation (DESIGN.md substitution P1)
+//!
+//! Sharding exists to relieve *parallel* cache-line contention on the
+//! single queue's F&A hot spot — a cost that physically cannot arise on
+//! this serial reproduction host, where time-sliced threads interleave
+//! instead of bouncing a line between cores (a raw wall-clock comparison
+//! here only measures the front-end's bookkeeping overhead). Following
+//! the repo's established simulation substitutions (simulated clusters in
+//! fig7, simulated oversubscription in fig2/fig6b), the throughput
+//! measurement wraps every queue *structure* in a [`ContentionSim`]
+//! domain that charges each operation `--hotspot-ns` of spin per
+//! operation concurrently in flight on the same structure — the paper's
+//! own cost model (§2: operations on one hot line serialize; latency
+//! grows with the number of requesters). The baseline queue is one
+//! domain; the sharded front-end wraps each shard as its own domain, so a
+//! preempted operation (armed via `--preempt-ppm`, landing inside the
+//! read→CAS2 windows) taxes only the shard it stalls instead of every
+//! endpoint. `--hotspot-ns 0` disables the emulation and measures raw
+//! serial overhead instead.
+//!
+//! Writes one JSON document (default `results/BENCH_shard.json`).
+//!
+//! Usage: `shard_scaling [--threads 2,8] [--shards 1,2,4,8] [--d 1,2]
+//!         [--refresh 64] [--inner lcrq] [--pairs 10000]
+//!         [--relax-ops 2000] [--preempt-ppm 500] [--hotspot-ns 150]
+//!         [--out results/BENCH_shard.json]`
+
+use lcrq_bench::cli::Cli;
+use lcrq_bench::QueueSpec;
+use lcrq_core::{ShardedConfig, ShardedQueue};
+use lcrq_queues::ConcurrentQueue;
+use lcrq_util::spin::spin_for_ns;
+use lcrq_util::XorShift64Star;
+use lcrq_verify::{measure_relaxation, record, Completed};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// One emulated contention domain: a queue structure whose operations
+/// serialize on a hot cache line. Each operation spins `hot_ns` per peer
+/// operation currently in flight on the same structure, emulating the
+/// line-transfer queue a multicore would impose. With `hot_ns = 0` this
+/// is a transparent pass-through.
+struct ContentionSim<Q> {
+    inner: Q,
+    in_flight: AtomicU32,
+    hot_ns: u64,
+}
+
+impl<Q: ConcurrentQueue> ContentionSim<Q> {
+    fn new(inner: Q, hot_ns: u64) -> Self {
+        Self {
+            inner,
+            in_flight: AtomicU32::new(0),
+            hot_ns,
+        }
+    }
+
+    fn charge(&self) -> ContentionGuard<'_> {
+        let peers = self.in_flight.fetch_add(1, Ordering::Relaxed);
+        if self.hot_ns > 0 && peers > 0 {
+            spin_for_ns(self.hot_ns * peers as u64);
+        }
+        ContentionGuard {
+            in_flight: &self.in_flight,
+        }
+    }
+}
+
+struct ContentionGuard<'a> {
+    in_flight: &'a AtomicU32,
+}
+
+impl Drop for ContentionGuard<'_> {
+    fn drop(&mut self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl<Q: ConcurrentQueue> ConcurrentQueue for ContentionSim<Q> {
+    fn enqueue(&self, value: u64) {
+        let _g = self.charge();
+        self.inner.enqueue(value);
+    }
+
+    fn dequeue(&self) -> Option<u64> {
+        let _g = self.charge();
+        self.inner.dequeue()
+    }
+
+    fn enqueue_batch(&self, values: &[u64]) {
+        let _g = self.charge();
+        self.inner.enqueue_batch(values);
+    }
+
+    fn dequeue_batch(&self, out: &mut Vec<u64>, max: usize) -> usize {
+        let _g = self.charge();
+        self.inner.dequeue_batch(out, max)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn is_nonblocking(&self) -> bool {
+        self.inner.is_nonblocking()
+    }
+}
+
+/// N-producer/N-consumer drain: producers each enqueue `per_producer`
+/// tagged values flat out; consumers dequeue (yielding on empty) until
+/// every item is accounted for. Returns Mops/s over the whole run.
+fn prodcons_mops(q: &dyn ConcurrentQueue, threads: usize, per_producer: u64) -> f64 {
+    let total = threads as u64 * per_producer;
+    let consumed = AtomicU64::new(0);
+    let barrier = Barrier::new(2 * threads + 1);
+    let (q, consumed, barrier) = (&q, &consumed, &barrier);
+    let start = std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..per_producer {
+                    q.enqueue(((t as u64) << 40) | i);
+                }
+            });
+        }
+        for _ in 0..threads {
+            s.spawn(move || {
+                barrier.wait();
+                while consumed.load(Ordering::Relaxed) < total {
+                    if q.dequeue().is_some() {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        let start = Instant::now();
+        barrier.wait();
+        start
+    });
+    let wall = start.elapsed();
+    2.0 * total as f64 / wall.as_secs_f64() / 1e6
+}
+
+/// Records a mixed enqueue/dequeue history on `2 × threads` workers and
+/// returns (max rank error, mean rank error). Scripts lean enqueue-heavy
+/// so the queue stays occupied and dequeues actually race.
+fn measured_relaxation(spec: &QueueSpec, threads: usize, ops_per_thread: usize) -> (u64, f64) {
+    let q = spec.build();
+    let workers = 2 * threads;
+    let mut rng = XorShift64Star::new(lcrq_util::rng::test_seed(0x5ca1_ab1e));
+    let scripts: Vec<Vec<Completed>> = (0..workers)
+        .map(|t| {
+            let mut script = Vec::with_capacity(ops_per_thread);
+            let mut next = 0u64;
+            for _ in 0..ops_per_thread {
+                if rng.chance(5, 9) {
+                    script.push(Completed::Enq(((t as u64) << 40) | next));
+                    next += 1;
+                } else {
+                    script.push(Completed::Deq);
+                }
+            }
+            script
+        })
+        .collect();
+    let rec = record(&q, &scripts);
+    let report = measure_relaxation(&rec).unwrap_or_else(|e| {
+        eprintln!("error: {spec}: recorded history is not a relaxed FIFO: {e}");
+        std::process::exit(1);
+    });
+    (report.max_rank_error, report.mean_rank_error())
+}
+
+struct Row {
+    spec: String,
+    threads: usize,
+    mops: f64,
+    max_rank: u64,
+    mean_rank: f64,
+    bound: u64,
+    ok: bool,
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let threads_list = cli.get_list("threads", &[2usize, 8]);
+    let shards_list = cli.get_list("shards", &[1usize, 2, 4, 8]);
+    let d_list = cli.get_list("d", &[1usize, 2]);
+    let refresh: u32 = cli.get("refresh", 64u32);
+    let pairs: u64 = cli.get("pairs", 10_000u64);
+    let relax_ops: usize = cli.get("relax-ops", 2_000usize);
+    let ppm: u32 = cli.get("preempt-ppm", 500u32);
+    let hot_ns: u64 = cli.get("hotspot-ns", 150u64);
+    let out_path = cli
+        .get_str("out")
+        .unwrap_or("results/BENCH_shard.json")
+        .to_string();
+    let inner = QueueSpec::parse(cli.get_str("inner").unwrap_or("lcrq")).unwrap_or_else(|e| {
+        eprintln!("error: --inner: {e}");
+        std::process::exit(2);
+    });
+
+    lcrq_util::adversary::set_preempt_ppm(ppm);
+    println!(
+        "# Sharded scaling sweep — inner {inner}, refresh {refresh}, \
+         {pairs} items/producer, preempt {ppm} ppm, hotspot {hot_ns} ns"
+    );
+    println!("| spec | prod/cons | Mops/s | max rank | mean rank | bound |");
+    println!("|------|-----------|--------|----------|-----------|-------|");
+
+    // Row descriptors: the baseline plus the shards × d sweep. shards=1
+    // and the baseline coincide semantically; both stay in the table so
+    // the front-end's pass-through overhead is visible.
+    let mut configs: Vec<Option<ShardedConfig>> = vec![None];
+    for &s in &shards_list {
+        for &d in &d_list {
+            if d > s && s > 1 {
+                continue; // clamped to d = s anyway; skip duplicates
+            }
+            if s == 1 && d != d_list[0] {
+                continue; // d is irrelevant with one shard
+            }
+            configs.push(Some(
+                ShardedConfig::new()
+                    .with_shards(s)
+                    .with_d(d.min(s))
+                    .with_refresh(refresh),
+            ));
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &t in &threads_list {
+        for cfg in &configs {
+            // Each queue structure is one emulated contention domain: the
+            // baseline wraps the whole queue, the sharded build wraps each
+            // shard separately (a nested sharded --inner is treated as one
+            // structure; only top-level shards get their own domain).
+            let (spec, q): (QueueSpec, Box<dyn ConcurrentQueue>) = match cfg {
+                None => (
+                    inner.clone(),
+                    Box::new(ContentionSim::new(inner.build(), hot_ns)),
+                ),
+                Some(sc) => (
+                    QueueSpec::sharded(inner.clone())
+                        .with_shards(sc.shards)
+                        .with_d(sc.d)
+                        .with_refresh(sc.refresh),
+                    Box::new(ShardedQueue::from_factory(sc, |_| {
+                        ContentionSim::new(inner.build(), hot_ns)
+                    })),
+                ),
+            };
+            let mops = prodcons_mops(&*q, t, pairs);
+            let (max_rank, mean_rank) = measured_relaxation(&spec, t, relax_ops);
+            let bound = spec.rank_error_bound(2 * t);
+            let ok = max_rank <= bound;
+            println!(
+                "| {spec} | {t}p/{t}c | {mops:.3} | {max_rank} | {mean_rank:.2} | {bound}{} |",
+                if ok { "" } else { " **EXCEEDED**" }
+            );
+            rows.push(Row {
+                spec: spec.to_string(),
+                threads: t,
+                mops,
+                max_rank,
+                mean_rank,
+                bound,
+                ok,
+            });
+        }
+    }
+
+    let all_ok = rows.iter().all(|r| r.ok);
+    let json = render_json(ppm, hot_ns, refresh, pairs, &rows, all_ok);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            eprintln!("error: writing {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !all_ok {
+        eprintln!("error: measured relaxation exceeded the analytic bound (see table)");
+        std::process::exit(1);
+    }
+}
+
+fn render_json(
+    ppm: u32,
+    hot_ns: u64,
+    refresh: u32,
+    pairs: u64,
+    rows: &[Row],
+    all_ok: bool,
+) -> String {
+    // Hand-rolled writer: the workspace is dependency-free by design, and
+    // every emitted value is numeric or a spec string with no escapes.
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"bench\": \"shard_scaling\",\n  \"preempt_ppm\": {ppm},\n  \
+         \"hotspot_ns\": {hot_ns},\n  \"refresh\": {refresh},\n  \
+         \"items_per_producer\": {pairs},\n  \
+         \"within_bound\": {all_ok},\n  \"rows\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"spec\": \"{}\", \"producers\": {}, \"consumers\": {}, \
+             \"mops\": {:.4}, \"max_rank_error\": {}, \"mean_rank_error\": {:.3}, \
+             \"rank_bound\": {}, \"within_bound\": {}}}{}\n",
+            r.spec,
+            r.threads,
+            r.threads,
+            r.mops,
+            r.max_rank,
+            r.mean_rank,
+            r.bound,
+            r.ok,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

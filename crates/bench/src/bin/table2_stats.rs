@@ -15,7 +15,7 @@
 //! Usage: `table2_stats [--threads 1,20] [--pairs 20000] [--ring-order 12]`
 
 use lcrq_bench::cli::Cli;
-use lcrq_bench::{make_queue, run_workload, QueueKind, RunConfig};
+use lcrq_bench::{run_workload, QueueKind, QueueSpec, RunConfig};
 use lcrq_util::metrics::Event;
 
 fn main() {
@@ -46,7 +46,7 @@ fn main() {
         for &k in &kinds {
             let mut cfg = RunConfig::new(threads);
             cfg.pairs = pairs;
-            let q = make_queue(k, ring_order, 1);
+            let q = QueueSpec::backend(k).with_ring_order(ring_order).build();
             let r = run_workload(&q, &cfg);
             let lat = r.mean_op_latency_ns();
             let rel = base_latency.map_or(1.0, |b: f64| lat / b);

@@ -12,7 +12,7 @@
 //!         [--clusters 4]`
 
 use lcrq_bench::cli::Cli;
-use lcrq_bench::{make_queue, run_workload, QueueKind, RunConfig};
+use lcrq_bench::{run_workload, QueueKind, QueueSpec, RunConfig};
 use lcrq_util::metrics::Event;
 
 fn main() {
@@ -46,7 +46,10 @@ fn main() {
             cfg.pairs = pairs;
             cfg.prefill = prefill;
             cfg.clusters = clusters;
-            let q = make_queue(k, ring_order, clusters);
+            let q = QueueSpec::backend(k)
+                .with_ring_order(ring_order)
+                .with_clusters(clusters)
+                .build();
             let r = run_workload(&q, &cfg);
             let c = &r.counters;
             let rounds = c.get(Event::CombinerRound);

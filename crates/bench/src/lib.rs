@@ -28,5 +28,7 @@ pub mod microbench;
 pub mod registry;
 pub mod workload;
 
-pub use registry::{make_queue, QueueKind, ALL_KINDS};
+#[allow(deprecated)]
+pub use registry::make_queue;
+pub use registry::{QueueKind, QueueSpec, ALL_KINDS};
 pub use workload::{run_averaged, run_workload, RunConfig, RunResult};

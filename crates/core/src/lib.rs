@@ -30,6 +30,10 @@
 //!   for arbitrary payloads — no double-width CAS anywhere, so this
 //!   backend would run on non-x86 targets. [`Lscq`] links SCQ rings with
 //!   the same tantrum/CLOSED convention as [`Lcrq`].
+//! * [`sharded::ShardedQueue`] — a relaxed d-choice front-end: N shards of
+//!   any backend behind one facade, balanced by cached length estimates,
+//!   with an exact-empty fallback sweep. Trades a bounded amount of
+//!   cross-shard FIFO order for throughput.
 //! * [`infinite::InfiniteArrayQueue`] — the idealized Figure-2 queue the
 //!   CRQ is derived from (SWAP-based, livelock-prone; educational).
 //! * [`typed::TypedLcrq`] — a generic `T`-valued facade over the raw `u64`
@@ -60,6 +64,7 @@ pub mod lscq;
 pub mod node;
 pub mod pool;
 pub mod scq;
+pub mod sharded;
 pub mod typed;
 
 pub use config::{HierarchicalConfig, LcrqConfig};
@@ -68,6 +73,7 @@ pub use lcrq::{Lcrq, LcrqCas, LcrqGeneric};
 pub use lscq::{Lscq, LscqCas, LscqGeneric};
 pub use pool::RingPool;
 pub use scq::{Scq, ScqD};
+pub use sharded::{rank_error_bound_for, ShardedConfig, ShardedQueue};
 pub use typed::{TypedLcrq, TypedLscq};
 
 /// The reserved "empty cell" value ⊥. User values must be strictly below it.

@@ -36,6 +36,23 @@ pub fn mpmc_stress<Q: ConcurrentQueue>(
     consumers: usize,
     per_producer: u64,
 ) {
+    mpmc_stress_relaxed(queue, producers, consumers, per_producer, 0)
+}
+
+/// [`mpmc_stress`] generalized to relaxed queues (e.g. a sharded d-choice
+/// front-end): exactly-once delivery stays mandatory, but within each
+/// consumer's stream an item of producer `p` may overtake at most
+/// `relaxation` of `p`'s earlier items. `relaxation == 0` is exactly the
+/// strict FIFO check; pass the queue's rank-error bound for relaxed queues.
+///
+/// Panics on any violation.
+pub fn mpmc_stress_relaxed<Q: ConcurrentQueue>(
+    queue: &Q,
+    producers: usize,
+    consumers: usize,
+    per_producer: u64,
+    relaxation: u64,
+) {
     assert!(producers > 0 && consumers > 0);
     let total = producers as u64 * per_producer;
     let dequeued = AtomicU64::new(0);
@@ -82,21 +99,28 @@ pub fn mpmc_stress<Q: ConcurrentQueue>(
     seen.dedup();
     assert_eq!(seen.len() as u64, total, "duplicated items");
 
-    // 2. Per-producer order within each consumer's local stream. (The global
-    // interleaving across consumers is not ordered, but any single consumer
-    // must observe each producer's items in order — a consequence of queue
-    // linearizability.)
+    // 2. Per-producer order within each consumer's local stream, up to the
+    // allowed relaxation. (The global interleaving across consumers is not
+    // ordered, but any single consumer must observe each producer's items
+    // in order — a consequence of queue linearizability — loosened here so
+    // an item may overtake at most `relaxation` earlier same-producer
+    // items.)
     for stream in &all {
-        let mut last: std::collections::HashMap<usize, u64> = Default::default();
+        let mut max_seen: std::collections::HashMap<usize, u64> = Default::default();
         for &v in stream {
             let (p, seq) = decode(v);
-            if let Some(&prev) = last.get(&p) {
+            if let Some(&prev) = max_seen.get(&p) {
+                // `>=` not `>`: distinct items of one producer never share a
+                // seq (exactly-once is checked above), so the strict case
+                // (relaxation 0) still demands monotonic order.
                 assert!(
-                    seq > prev,
-                    "consumer observed producer {p} out of order: {seq} after {prev}"
+                    seq.saturating_add(relaxation) >= prev,
+                    "consumer observed producer {p} out of order beyond the \
+                     relaxation bound {relaxation}: {seq} after {prev}"
                 );
             }
-            last.insert(p, seq);
+            let slot = max_seen.entry(p).or_insert(0);
+            *slot = (*slot).max(seq);
         }
     }
 
@@ -121,6 +145,23 @@ pub fn mpmc_batch_stress<Q: ConcurrentQueue>(
     consumers: usize,
     per_producer: u64,
     batch: usize,
+) {
+    mpmc_batch_stress_relaxed(queue, producers, consumers, per_producer, batch, 0)
+}
+
+/// [`mpmc_batch_stress`] generalized to relaxed queues, with the same
+/// `relaxation` parameter as [`mpmc_stress_relaxed`]: within each
+/// consumer's stream an item may overtake at most `relaxation` earlier
+/// items of the same producer. `relaxation == 0` is the strict check.
+///
+/// Panics on any violation.
+pub fn mpmc_batch_stress_relaxed<Q: ConcurrentQueue>(
+    queue: &Q,
+    producers: usize,
+    consumers: usize,
+    per_producer: u64,
+    batch: usize,
+    relaxation: u64,
 ) {
     assert!(producers > 0 && consumers > 0 && batch > 0);
     let total = producers as u64 * per_producer;
@@ -171,18 +212,22 @@ pub fn mpmc_batch_stress<Q: ConcurrentQueue>(
     seen.dedup();
     assert_eq!(seen.len() as u64, total, "duplicated items");
 
-    // 2. Per-producer order within each consumer's local stream.
+    // 2. Per-producer order within each consumer's local stream, up to the
+    // allowed relaxation.
     for stream in &all {
-        let mut last: std::collections::HashMap<usize, u64> = Default::default();
+        let mut max_seen: std::collections::HashMap<usize, u64> = Default::default();
         for &v in stream {
             let (p, seq) = decode(v);
-            if let Some(&prev) = last.get(&p) {
+            if let Some(&prev) = max_seen.get(&p) {
+                // `>=` not `>`: see mpmc_stress_relaxed.
                 assert!(
-                    seq > prev,
-                    "consumer observed producer {p} out of order: {seq} after {prev}"
+                    seq.saturating_add(relaxation) >= prev,
+                    "consumer observed producer {p} out of order beyond the \
+                     relaxation bound {relaxation}: {seq} after {prev}"
                 );
             }
-            last.insert(p, seq);
+            let slot = max_seen.entry(p).or_insert(0);
+            *slot = (*slot).max(seq);
         }
     }
 
@@ -286,6 +331,57 @@ pub fn model_check<Q: ConcurrentQueue>(queue: &Q, seed: u64) {
     }
     while let Some(expect) = model.pop_front() {
         assert_eq!(queue.dequeue(), Some(expect));
+    }
+    assert_eq!(queue.dequeue(), None);
+}
+
+/// Sequential randomized check for *relaxed* queues against a `Vec` model:
+/// every dequeued value must be one of the oldest `window + 1` pending
+/// elements (rank error ≤ `window`), `None` is only legal when the model
+/// is empty, and nothing may be lost, duplicated, or invented.
+/// `window == 0` is strict sequential FIFO.
+///
+/// `seed` may be overridden with the `LCRQ_TEST_SEED` env var (see
+/// [`lcrq_util::rng::test_seed`]); failures print the effective seed.
+pub fn relaxed_model_check<Q: ConcurrentQueue>(queue: &Q, seed: u64, window: usize) {
+    let seed = lcrq_util::rng::test_seed(seed);
+    let mut rng = lcrq_util::XorShift64Star::new(seed);
+    let mut model: Vec<u64> = Vec::new();
+    let mut next_val = 0u64;
+    let take = |model: &mut Vec<u64>, got: Option<u64>, step: usize| match got {
+        Some(v) => {
+            let pos = model.iter().position(|&m| m == v).unwrap_or_else(|| {
+                panic!(
+                    "step {step}: dequeued {v} which is not pending \
+                     (reproduce with LCRQ_TEST_SEED={seed})"
+                )
+            });
+            assert!(
+                pos <= window,
+                "step {step}: dequeued {v} at rank {pos} > window {window} \
+                 (reproduce with LCRQ_TEST_SEED={seed})"
+            );
+            model.remove(pos);
+        }
+        None => assert!(
+            model.is_empty(),
+            "step {step}: reported empty with {} pending \
+             (reproduce with LCRQ_TEST_SEED={seed})",
+            model.len()
+        ),
+    };
+    for step in 0..10_000 {
+        let enq_bias = if step < 5_000 { 60 } else { 40 };
+        if rng.chance(enq_bias, 100) {
+            queue.enqueue(next_val);
+            model.push(next_val);
+            next_val += 1;
+        } else {
+            take(&mut model, queue.dequeue(), step);
+        }
+    }
+    while !model.is_empty() {
+        take(&mut model, queue.dequeue(), usize::MAX);
     }
     assert_eq!(queue.dequeue(), None);
 }
@@ -453,6 +549,85 @@ mod tests {
         let q = GoodQueue(Default::default());
         batch_model_check(&q, 11);
         mpmc_batch_stress(&q, 2, 2, 2_000, 16);
+    }
+
+    /// A 1-relaxed queue: alternates between dequeuing the second-oldest
+    /// (when two or more are pending) and the oldest, so the head element is
+    /// overtaken at most once before it leaves — rank error and per-element
+    /// lateness both exactly 1. (A queue that *always* took the second-oldest
+    /// would starve the head indefinitely: bounded rank error per dequeue,
+    /// unbounded lateness — the relaxed stress harness must reject that.)
+    struct AltSkewQueue(std::sync::Mutex<(VecDeque<u64>, bool)>);
+    impl ConcurrentQueue for AltSkewQueue {
+        fn enqueue(&self, value: u64) {
+            self.0.lock().unwrap().0.push_back(value);
+        }
+        fn dequeue(&self) -> Option<u64> {
+            let mut g = self.0.lock().unwrap();
+            let (q, skew) = &mut *g;
+            let got = if *skew && q.len() >= 2 {
+                q.remove(1)
+            } else {
+                q.pop_front()
+            };
+            if got.is_some() {
+                *skew = !*skew;
+            }
+            got
+        }
+        fn name(&self) -> &'static str {
+            "alt-skew"
+        }
+        fn is_nonblocking(&self) -> bool {
+            false
+        }
+    }
+
+    fn alt_skew() -> AltSkewQueue {
+        AltSkewQueue(std::sync::Mutex::new((VecDeque::new(), true)))
+    }
+
+    #[test]
+    fn relaxed_harnesses_accept_within_bound() {
+        relaxed_model_check(&alt_skew(), 21, 1);
+        mpmc_stress_relaxed(&alt_skew(), 2, 2, 2_000, 1);
+        mpmc_batch_stress_relaxed(&alt_skew(), 2, 2, 2_000, 8, 1);
+    }
+
+    #[test]
+    fn relaxed_harnesses_reject_beyond_bound() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            relaxed_model_check(&alt_skew(), 22, 0);
+        }));
+        assert!(result.is_err(), "rank-1 queue must fail a window-0 check");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mpmc_stress_relaxed(&alt_skew(), 1, 1, 2_000, 0);
+        }));
+        assert!(
+            result.is_err(),
+            "rank-1 queue must fail a strict stress run"
+        );
+    }
+
+    #[test]
+    fn relaxed_model_check_rejects_invented_values() {
+        struct InventQueue;
+        impl ConcurrentQueue for InventQueue {
+            fn enqueue(&self, _: u64) {}
+            fn dequeue(&self) -> Option<u64> {
+                Some(0xDEAD)
+            }
+            fn name(&self) -> &'static str {
+                "invent"
+            }
+            fn is_nonblocking(&self) -> bool {
+                true
+            }
+        }
+        let result = std::panic::catch_unwind(|| {
+            relaxed_model_check(&InventQueue, 23, 1_000_000);
+        });
+        assert!(result.is_err(), "must reject values never enqueued");
     }
 
     #[test]

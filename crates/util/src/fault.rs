@@ -96,10 +96,16 @@ pub enum Site {
     ChannelPark,
     /// The channel waker registry's `register`. `Fail` is ignored.
     WakerRegister,
+    /// The sharded front-end's d-choice sampling window: between sampling
+    /// the per-shard length estimates and operating on the chosen shard.
+    /// `Fail` degrades the choice to a single uniform sample (d = 1), the
+    /// stale-estimate worst case; a `Stall` here parks the thread while its
+    /// cached estimates go arbitrarily stale.
+    ShardSample,
 }
 
 /// Number of distinct [`Site`]s.
-pub const NUM_SITES: usize = Site::WakerRegister as usize + 1;
+pub const NUM_SITES: usize = Site::ShardSample as usize + 1;
 
 impl Site {
     /// Every site, in declaration order.
@@ -120,6 +126,7 @@ impl Site {
         Site::HazardScan,
         Site::ChannelPark,
         Site::WakerRegister,
+        Site::ShardSample,
     ];
 
     /// Stable lowercase name, used in scenario displays and hit logs.
@@ -141,6 +148,7 @@ impl Site {
             Site::HazardScan => "hazard-scan",
             Site::ChannelPark => "channel-park",
             Site::WakerRegister => "waker-register",
+            Site::ShardSample => "shard-sample",
         }
     }
 }

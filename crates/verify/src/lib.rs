@@ -12,7 +12,11 @@
 //!   satisfying the sequential FIFO queue specification;
 //! * [`check_tantrum`] — the same for the tantrum-queue specification
 //!   (enqueues may return CLOSED; after the first CLOSED-returning enqueue
-//!   is linearized, every later enqueue must also return CLOSED).
+//!   is linearized, every later enqueue must also return CLOSED);
+//! * [`measure_relaxation`] / [`check_relaxed`] — quantitative checking
+//!   for *relaxed* queues (the sharded d-choice front-end): measures the
+//!   empirical rank error of a history and asserts it within a bound,
+//!   while still hard-rejecting duplicates, loss, and dishonest EMPTYs.
 //!
 //! Exhaustive checking is exponential, so it is applied to many *small*
 //! histories (a few threads, a few operations each) rather than one big
@@ -23,6 +27,8 @@
 
 pub mod checker;
 pub mod history;
+pub mod relaxed;
 
 pub use checker::{check_fifo, check_tantrum, CheckError};
 pub use history::{record, Completed, HistoryOp, OpRecord, Recording};
+pub use relaxed::{check_relaxed, measure_relaxation, RelaxError, RelaxationReport};

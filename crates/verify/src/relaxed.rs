@@ -1,0 +1,399 @@
+//! Quantitative checking of *relaxed* FIFO histories.
+//!
+//! A sharded d-choice front-end is deliberately not linearizable to the
+//! strict FIFO specification: a dequeue may overtake elements that are
+//! older but live in unsampled shards. The Wing–Gong checker would (rightly)
+//! reject such histories, so this module replaces the boolean question
+//! "is there a FIFO linearization?" with a measured one: **how far from
+//! FIFO was this execution, and is that within the configured bound?**
+//!
+//! The metric is **rank error**: for each successful dequeue of `v`, the
+//! number of elements *definitely older* than `v` (their enqueue returned
+//! before `v`'s enqueue was invoked — a real-time precedence every
+//! linearization must respect) that were *definitely still pending* (their
+//! dequeue, if any, was invoked only after this dequeue returned). Under
+//! concurrency this undercounts the true rank of any particular
+//! linearization — which makes it *sound*: a reported rank of `k` proves
+//! every linearization dequeues `v` ahead of at least `k` older elements.
+//! For sequential (non-overlapping) histories it is exact. A strict FIFO
+//! queue always measures 0.
+//!
+//! Exactly-once delivery and honest EMPTY reports are **not** relaxed:
+//! duplicated, invented, or dropped elements and premature-EMPTY
+//! observations are hard errors, same as in the strict checker.
+
+use crate::history::{HistoryOp, Recording};
+use std::collections::HashMap;
+
+/// Why a recorded history violates even the *relaxed* specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelaxError {
+    /// The same value was enqueued twice: the metric needs unique values
+    /// (use distinct payloads per operation, as the harnesses do).
+    DuplicateEnqueue(u64),
+    /// A value was dequeued twice.
+    DuplicateDequeue(u64),
+    /// A value was dequeued that no enqueue ever produced.
+    ForeignDequeue(u64),
+    /// A value's dequeue returned before its enqueue was invoked.
+    DequeueBeforeEnqueue(u64),
+    /// A dequeue reported EMPTY while some element was definitely present
+    /// for the whole call: enqueued (returned) before the dequeue was
+    /// invoked and not dequeued until after it returned. Relaxation never
+    /// licenses lying about emptiness.
+    PrematureEmpty {
+        /// A value that was definitely present across the EMPTY report.
+        pending: u64,
+    },
+    /// `check_relaxed` only: the measured rank error exceeds the bound.
+    RankBoundExceeded {
+        /// The dequeued value with the worst measured rank error.
+        value: u64,
+        /// Its measured rank error.
+        rank: u64,
+        /// The configured bound it exceeded.
+        bound: u64,
+    },
+}
+
+impl core::fmt::Display for RelaxError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RelaxError::DuplicateEnqueue(v) => write!(f, "value {v} enqueued twice"),
+            RelaxError::DuplicateDequeue(v) => write!(f, "value {v} dequeued twice"),
+            RelaxError::ForeignDequeue(v) => write!(f, "dequeued {v}, which was never enqueued"),
+            RelaxError::DequeueBeforeEnqueue(v) => {
+                write!(f, "value {v} dequeued before its enqueue was invoked")
+            }
+            RelaxError::PrematureEmpty { pending } => write!(
+                f,
+                "dequeue reported EMPTY while {pending} was definitely present"
+            ),
+            RelaxError::RankBoundExceeded { value, rank, bound } => write!(
+                f,
+                "dequeue of {value} measured rank error {rank}, exceeding the bound {bound}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RelaxError {}
+
+/// Empirical relaxation measurements of one recorded history.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RelaxationReport {
+    /// Successful dequeues measured.
+    pub dequeues: u64,
+    /// EMPTY observations (all verified honest).
+    pub empties: u64,
+    /// Worst per-dequeue rank error.
+    pub max_rank_error: u64,
+    /// The value whose dequeue measured `max_rank_error` (0 if none did).
+    pub max_rank_value: u64,
+    /// Sum of per-dequeue rank errors (mean = `total / dequeues`).
+    pub total_rank_error: u64,
+    /// Enqueued values never dequeued — fine for a history that ends
+    /// non-empty; a *drained* run should see 0.
+    pub undelivered: u64,
+}
+
+impl RelaxationReport {
+    /// Mean rank error per successful dequeue (0.0 when none).
+    pub fn mean_rank_error(&self) -> f64 {
+        if self.dequeues == 0 {
+            0.0
+        } else {
+            self.total_rank_error as f64 / self.dequeues as f64
+        }
+    }
+}
+
+/// Interval bookkeeping for one value's lifetime in the history.
+struct Lifetime {
+    enq_invoked: u64,
+    enq_returned: u64,
+    /// Invocation time of the dequeue that removed it, if any.
+    deq_invoked: Option<u64>,
+}
+
+/// Replays `rec` and measures its empirical relaxation (see the module
+/// docs for the metric). Errors on anything no amount of reordering
+/// relaxation can excuse: duplicates, foreign or time-travelling values,
+/// and dishonest EMPTY reports.
+pub fn measure_relaxation(rec: &Recording) -> Result<RelaxationReport, RelaxError> {
+    // Pass 1: index every value's enqueue and dequeue intervals.
+    let mut lives: HashMap<u64, Lifetime> = HashMap::new();
+    for r in &rec.ops {
+        match r.op {
+            HistoryOp::Enq(v) => {
+                let prev = lives.insert(
+                    v,
+                    Lifetime {
+                        enq_invoked: r.invoked,
+                        enq_returned: r.returned,
+                        deq_invoked: None,
+                    },
+                );
+                if prev.is_some() {
+                    return Err(RelaxError::DuplicateEnqueue(v));
+                }
+            }
+            HistoryOp::EnqClosed(_) | HistoryOp::DeqOk(_) | HistoryOp::DeqEmpty => {}
+        }
+    }
+    for r in &rec.ops {
+        if let HistoryOp::DeqOk(v) = r.op {
+            let life = lives.get_mut(&v).ok_or(RelaxError::ForeignDequeue(v))?;
+            if life.deq_invoked.is_some() {
+                return Err(RelaxError::DuplicateDequeue(v));
+            }
+            if life.enq_invoked > r.returned {
+                return Err(RelaxError::DequeueBeforeEnqueue(v));
+            }
+            life.deq_invoked = Some(r.invoked);
+        }
+    }
+
+    // Pass 2: score each dequeue against the values definitely pending
+    // around it. O(dequeues × values) — histories here are test-sized.
+    let mut report = RelaxationReport::default();
+    for r in &rec.ops {
+        match r.op {
+            HistoryOp::DeqOk(v) => {
+                let me = &lives[&v];
+                let rank = lives
+                    .iter()
+                    .filter(|(&e, life)| {
+                        e != v
+                            && life.enq_returned < me.enq_invoked
+                            && life.deq_invoked.is_none_or(|d| d > r.returned)
+                    })
+                    .count() as u64;
+                report.dequeues += 1;
+                report.total_rank_error += rank;
+                if rank > report.max_rank_error {
+                    report.max_rank_error = rank;
+                    report.max_rank_value = v;
+                }
+            }
+            HistoryOp::DeqEmpty => {
+                if let Some((&pending, _)) = lives.iter().find(|(_, life)| {
+                    life.enq_returned < r.invoked && life.deq_invoked.is_none_or(|d| d > r.returned)
+                }) {
+                    return Err(RelaxError::PrematureEmpty { pending });
+                }
+                report.empties += 1;
+            }
+            HistoryOp::Enq(_) | HistoryOp::EnqClosed(_) => {}
+        }
+    }
+    report.undelivered = lives.values().filter(|l| l.deq_invoked.is_none()).count() as u64;
+    Ok(report)
+}
+
+/// [`measure_relaxation`], then asserts the worst measured rank error stays
+/// within `bound`. This is the relaxed analogue of
+/// [`check_fifo`](crate::check_fifo): `bound = 0` accepts exactly the
+/// histories whose measured relaxation is indistinguishable from FIFO.
+pub fn check_relaxed(rec: &Recording, bound: u64) -> Result<RelaxationReport, RelaxError> {
+    let report = measure_relaxation(rec)?;
+    if report.max_rank_error > bound {
+        return Err(RelaxError::RankBoundExceeded {
+            value: report.max_rank_value,
+            rank: report.max_rank_error,
+            bound,
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::OpRecord;
+
+    /// Builds a strictly sequential recording: each step gets a disjoint
+    /// `[2i, 2i+1]` interval, so the measured metric is exact.
+    fn seq(ops: &[HistoryOp]) -> Recording {
+        Recording {
+            ops: ops
+                .iter()
+                .enumerate()
+                .map(|(i, &op)| OpRecord {
+                    thread: 0,
+                    op,
+                    invoked: 2 * i as u64,
+                    returned: 2 * i as u64 + 1,
+                })
+                .collect(),
+        }
+    }
+
+    fn enq(v: u64) -> HistoryOp {
+        HistoryOp::Enq(v)
+    }
+    fn deq(v: u64) -> HistoryOp {
+        HistoryOp::DeqOk(v)
+    }
+
+    #[test]
+    fn fifo_history_measures_zero() {
+        let rec = seq(&[enq(1), enq(2), enq(3), deq(1), deq(2), deq(3)]);
+        let rep = measure_relaxation(&rec).unwrap();
+        assert_eq!(rep.max_rank_error, 0);
+        assert_eq!(rep.total_rank_error, 0);
+        assert_eq!(rep.dequeues, 3);
+        assert_eq!(rep.undelivered, 0);
+        assert!(check_relaxed(&rec, 0).is_ok());
+    }
+
+    #[test]
+    fn k_rotated_dequeue_order_measures_rank_k() {
+        // Enqueue 0..6, dequeue rotated left by k: every early dequeue
+        // overtakes exactly the k oldest still-pending elements.
+        for k in 1..5u64 {
+            let n = 6u64;
+            let mut ops: Vec<HistoryOp> = (0..n).map(enq).collect();
+            ops.extend((0..n).map(|i| deq((i + k) % n)));
+            let rep = measure_relaxation(&seq(&ops)).unwrap();
+            assert_eq!(rep.max_rank_error, k, "rotation by {k}");
+            assert!(check_relaxed(&seq(&ops), k).is_ok());
+            let err = check_relaxed(&seq(&ops), k - 1).unwrap_err();
+            assert!(
+                matches!(err, RelaxError::RankBoundExceeded { rank, bound, .. }
+                    if rank == k && bound == k - 1),
+                "rotation by {k}: got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adjacent_swap_measures_rank_one() {
+        let rec = seq(&[enq(1), enq(2), enq(3), deq(2), deq(1), deq(3)]);
+        let rep = measure_relaxation(&rec).unwrap();
+        assert_eq!(rep.max_rank_error, 1);
+        assert_eq!(rep.total_rank_error, 1);
+    }
+
+    #[test]
+    fn duplicate_dequeue_is_rejected() {
+        let rec = seq(&[enq(1), enq(2), deq(1), deq(1)]);
+        assert_eq!(
+            measure_relaxation(&rec),
+            Err(RelaxError::DuplicateDequeue(1))
+        );
+    }
+
+    #[test]
+    fn duplicate_enqueue_is_rejected() {
+        let rec = seq(&[enq(1), enq(1)]);
+        assert_eq!(
+            measure_relaxation(&rec),
+            Err(RelaxError::DuplicateEnqueue(1))
+        );
+    }
+
+    #[test]
+    fn foreign_value_is_rejected() {
+        let rec = seq(&[enq(1), deq(42)]);
+        assert_eq!(
+            measure_relaxation(&rec),
+            Err(RelaxError::ForeignDequeue(42))
+        );
+    }
+
+    #[test]
+    fn time_travelling_value_is_rejected() {
+        // Dequeue completes strictly before the value is ever enqueued.
+        let rec = seq(&[deq(1), enq(1)]);
+        assert_eq!(
+            measure_relaxation(&rec),
+            Err(RelaxError::DequeueBeforeEnqueue(1))
+        );
+    }
+
+    #[test]
+    fn dropped_element_fails_a_drained_history() {
+        // A lossy queue shows up as EMPTY while the dropped element is
+        // still (logically) pending — relaxation does not excuse loss.
+        let rec = seq(&[enq(1), enq(2), deq(1), HistoryOp::DeqEmpty]);
+        assert_eq!(
+            measure_relaxation(&rec),
+            Err(RelaxError::PrematureEmpty { pending: 2 })
+        );
+    }
+
+    #[test]
+    fn undelivered_is_reported_not_rejected() {
+        // Ending non-empty (no EMPTY claim) is fine; the report says so.
+        let rec = seq(&[enq(1), enq(2), deq(1)]);
+        let rep = measure_relaxation(&rec).unwrap();
+        assert_eq!(rep.undelivered, 1);
+    }
+
+    #[test]
+    fn honest_empty_on_drained_queue_is_accepted() {
+        let rec = seq(&[HistoryOp::DeqEmpty, enq(1), deq(1), HistoryOp::DeqEmpty]);
+        let rep = measure_relaxation(&rec).unwrap();
+        assert_eq!(rep.empties, 2);
+    }
+
+    #[test]
+    fn concurrent_enqueues_do_not_count_toward_rank() {
+        // Two enqueues with overlapping intervals have no real-time order:
+        // dequeuing either first is rank 0 under the sound metric.
+        let rec = Recording {
+            ops: vec![
+                OpRecord {
+                    thread: 0,
+                    op: enq(1),
+                    invoked: 0,
+                    returned: 3,
+                },
+                OpRecord {
+                    thread: 1,
+                    op: enq(2),
+                    invoked: 1,
+                    returned: 2,
+                },
+                OpRecord {
+                    thread: 0,
+                    op: deq(2),
+                    invoked: 4,
+                    returned: 5,
+                },
+                OpRecord {
+                    thread: 0,
+                    op: deq(1),
+                    invoked: 6,
+                    returned: 7,
+                },
+            ],
+        };
+        let rep = measure_relaxation(&rec).unwrap();
+        assert_eq!(rep.max_rank_error, 0);
+    }
+
+    #[test]
+    fn empty_concurrent_with_enqueue_is_not_premature() {
+        // The EMPTY's window overlaps the enqueue: a linearization may
+        // order the EMPTY first, so it must be accepted.
+        let rec = Recording {
+            ops: vec![
+                OpRecord {
+                    thread: 0,
+                    op: enq(1),
+                    invoked: 0,
+                    returned: 3,
+                },
+                OpRecord {
+                    thread: 1,
+                    op: HistoryOp::DeqEmpty,
+                    invoked: 1,
+                    returned: 2,
+                },
+            ],
+        };
+        assert!(measure_relaxation(&rec).is_ok());
+    }
+}

@@ -47,7 +47,7 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`core`] (re-exported at the root) | [`Lcrq`], [`LcrqCas`], [`TypedLcrq`], the [`Crq`] ring, the Figure-2 infinite-array queue; the portable SCQ family: [`Scq`], [`ScqD`], [`Lscq`], [`TypedLscq`] |
+//! | [`core`] (re-exported at the root) | [`Lcrq`], [`LcrqCas`], [`TypedLcrq`], the [`Crq`] ring, the Figure-2 infinite-array queue; the portable SCQ family: [`Scq`], [`ScqD`], [`Lscq`], [`TypedLscq`]; the d-choice sharded front-end [`ShardedQueue`] |
 //! | [`queues`] | baselines: MS queue, two-lock queue, CC-Queue, H-Queue, FC queue; the [`ConcurrentQueue`] trait; stress-test harnesses |
 //! | [`channel`] | blocking & async channel layer over the typed LCRQ: parking receivers, waker registry, shutdown |
 //! | [`combining`] | CC-Synch, H-Synch, flat combining universal constructions |
@@ -66,8 +66,9 @@ pub use lcrq_queues as queues;
 pub use lcrq_util as util;
 
 pub use lcrq_core::{
-    Crq, CrqClosed, HierarchicalConfig, Lcrq, LcrqCas, LcrqConfig, LcrqGeneric, Lscq, LscqCas,
-    LscqGeneric, RingPool, Scq, ScqD, TypedLcrq, TypedLscq,
+    rank_error_bound_for, Crq, CrqClosed, HierarchicalConfig, Lcrq, LcrqCas, LcrqConfig,
+    LcrqGeneric, Lscq, LscqCas, LscqGeneric, RingPool, Scq, ScqD, ShardedConfig, ShardedQueue,
+    TypedLcrq, TypedLscq,
 };
 pub use lcrq_queues::{
     CcQueue, ClosableQueue, ConcurrentQueue, FcQueue, HQueue, MsQueue, TwoLockQueue,

@@ -15,11 +15,13 @@ use std::time::{Duration, Instant};
 
 use lcrq::core::LcrqConfig;
 use lcrq::hazard::{Domain, SLOTS_PER_THREAD};
-use lcrq::queues::testing::{encode, mpmc_stress};
+use lcrq::queues::testing::{encode, mpmc_stress, mpmc_stress_relaxed};
 use lcrq::queues::EnqueueError;
 use lcrq::util::fault::{self, FaultAction, Scenario, Site};
 use lcrq::util::rng::test_seed;
-use lcrq::{ConcurrentQueue, Lcrq, Lscq, LscqCas};
+use lcrq::{
+    rank_error_bound_for, ConcurrentQueue, Lcrq, Lscq, LscqCas, ShardedConfig, ShardedQueue,
+};
 
 /// Serializes tests: the fail-point registry is process-global.
 static LOCK: Mutex<()> = Mutex::new(());
@@ -352,6 +354,123 @@ fn stress_sweep() {
         mpmc_stress(&q, 3, 3, 4_000);
         let q = LscqCas::with_config(tiny());
         mpmc_stress(&q, 2, 2, 2_000);
+    });
+    fault::disarm();
+    if let Err(e) = result {
+        eprintln!("fault scenario in effect: [{stext}]");
+        eprintln!("replay with LCRQ_TEST_SEED={seed:#x}");
+        std::panic::resume_unwind(e);
+    }
+}
+
+/// Crash tolerance through the sharded front-end: stall threads *inside
+/// the d-choice sampling window* (holding arbitrarily stale estimates)
+/// and require the survivors to keep completing against the remaining
+/// shards. A stalled sampler parks only its own thread — shard selection
+/// is thread-local, so no shard, counter, or peer is wedged — and after
+/// release every element is delivered exactly once.
+#[test]
+fn survivors_outlive_peers_stalled_in_the_sampling_window() {
+    let _g = guard();
+    const WORKERS: usize = 8;
+    const STALLS: usize = 2;
+    const BUDGET: u64 = 2_000;
+    let seed = test_seed(0x57A1_1ED5_EED0_0002);
+    let scenario = Scenario::new(seed)
+        .with(Site::ShardSample, 400_000, FaultAction::Stall)
+        .max_stalls(STALLS as u64);
+    let stext = scenario.to_string();
+    scenario.arm();
+
+    let q = ShardedQueue::from_factory(
+        &ShardedConfig::new()
+            .with_shards(4)
+            .with_d(2)
+            .with_refresh(16),
+        |_| Lcrq::with_config(tiny()),
+    );
+    let done = AtomicUsize::new(0);
+    let (q, done) = (&q, &done);
+    let all: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..BUDGET {
+                        q.enqueue(encode(t, i));
+                        if let Some(v) = q.dequeue() {
+                            got.push(v);
+                        }
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                    got
+                })
+            })
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while done.load(Ordering::SeqCst) < WORKERS - STALLS {
+            if Instant::now() >= deadline {
+                fault::disarm();
+                panic!(
+                    "[sharded] survivors starved with {STALLS} peers stalled \
+                     under [{stext}] (replay with LCRQ_TEST_SEED={seed:#x})"
+                );
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stalled = fault::stalled_count();
+        fault::disarm(); // release the "crashed" samplers so they can join
+        assert_eq!(
+            stalled, STALLS,
+            "[sharded] expected exactly {STALLS} stalled threads under [{stext}] \
+             (replay with LCRQ_TEST_SEED={seed:#x})"
+        );
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut seen: Vec<u64> = all.into_iter().flatten().collect();
+    while let Some(v) = q.dequeue() {
+        seen.push(v);
+    }
+    let total = WORKERS as u64 * BUDGET;
+    assert_eq!(
+        seen.len() as u64,
+        total,
+        "[sharded] lost items under [{stext}] (replay with LCRQ_TEST_SEED={seed:#x})"
+    );
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(
+        seen.len() as u64,
+        total,
+        "[sharded] duplicated items under [{stext}] (replay with LCRQ_TEST_SEED={seed:#x})"
+    );
+    assert_eq!(q.dequeue(), None, "[sharded] queue should be drained");
+}
+
+/// `Fail` at the sampling site degrades an operation to a single uniform
+/// sample — the stale-estimate worst case, equivalent to d = 1. Delivery
+/// must stay exactly-once and the relaxation must stay inside the d = 1
+/// envelope (the widest this front-end can produce at this geometry).
+#[test]
+fn failed_sampling_degrades_to_uniform_choice_not_lost_elements() {
+    let _g = guard();
+    let seed = test_seed(0x57A1_1ED5_EED0_0003);
+    let scenario = Scenario::new(seed).with(Site::ShardSample, 500_000, FaultAction::Fail);
+    let stext = scenario.to_string();
+    scenario.arm();
+    let result = std::panic::catch_unwind(|| {
+        let q = ShardedQueue::from_factory(
+            &ShardedConfig::new()
+                .with_shards(4)
+                .with_d(2)
+                .with_refresh(16),
+            |_| Lcrq::with_config(tiny()),
+        );
+        // Half the picks lose their extra samples, so judge against the
+        // d = 1 envelope rather than the configured d = 2 one.
+        let bound = rank_error_bound_for(4, 1, 16, 6);
+        mpmc_stress_relaxed(&q, 3, 3, 4_000, bound);
     });
     fault::disarm();
     if let Err(e) = result {

@@ -7,8 +7,10 @@
 //! duplication, loss, and premature-EMPTY bugs — each seed produces a
 //! different interleaving pressure via randomized op mixes.
 
-use lcrq_bench::{make_queue, QueueKind, ALL_KINDS};
-use lcrq_verify::{check_fifo, check_tantrum, record, Completed, HistoryOp, Recording};
+use lcrq_bench::{QueueKind, QueueSpec, ALL_KINDS};
+use lcrq_verify::{
+    check_fifo, check_relaxed, check_tantrum, record, Completed, HistoryOp, Recording,
+};
 
 /// Builds randomized scripts: `threads` threads, each with `ops` operations,
 /// roughly half enqueues (values unique per thread) and half dequeues.
@@ -33,7 +35,11 @@ fn check_kind(kind: QueueKind, rounds: u64) {
     for seed in 0..rounds {
         // LCRQ_TEST_SEED pins every round to one script seed for replay.
         let script_seed = lcrq::util::rng::test_seed(seed * 7 + 1);
-        let q = make_queue(kind, 4, 2); // tiny rings: exercise CRQ switching
+        // Tiny rings: exercise CRQ switching.
+        let q = QueueSpec::backend(kind)
+            .with_ring_order(4)
+            .with_clusters(2)
+            .build();
         let rec = record(&q, &scripts(script_seed, 3, 4));
         if let Err(e) = check_fifo(&rec) {
             panic!(
@@ -73,7 +79,10 @@ fn batch_scripts(seed: u64, threads: usize, ops: usize) -> Vec<Vec<Completed>> {
 fn check_kind_batched(kind: QueueKind, ring_order: u32, rounds: u64) {
     for seed in 0..rounds {
         let script_seed = lcrq::util::rng::test_seed(seed * 13 + 3);
-        let q = make_queue(kind, ring_order, 2);
+        let q = QueueSpec::backend(kind)
+            .with_ring_order(ring_order)
+            .with_clusters(2)
+            .build();
         let rec = record(&q, &batch_scripts(script_seed, 3, 3));
         if let Err(e) = check_fifo(&rec) {
             panic!(
@@ -189,7 +198,87 @@ fn baskets_queue_histories_are_linearizable() {
 #[test]
 fn every_kind_is_covered_by_a_linearizability_test() {
     // Guard against new registry kinds silently skipping verification.
+    // (The sharded front-end is a spec wrapper, not a kind: its histories
+    // are checked by the relaxed tests below.)
     assert_eq!(ALL_KINDS.len(), 14);
+}
+
+/// Records real concurrent histories of a sharded spec and checks them with
+/// the relaxation checker at the spec's analytic bound — the relaxed
+/// analogue of [`check_kind`].
+fn check_spec_relaxed(spec_str: &str, rounds: u64) {
+    let spec = QueueSpec::parse(spec_str).unwrap();
+    let bound = spec.rank_error_bound(3);
+    for seed in 0..rounds {
+        let script_seed = lcrq::util::rng::test_seed(seed * 11 + 5);
+        let q = spec.build();
+        let rec = record(&q, &scripts(script_seed, 3, 4));
+        if let Err(e) = check_relaxed(&rec, bound) {
+            panic!(
+                "{spec}: script seed {script_seed} violated the relaxed spec at bound \
+                 {bound} (reproduce with LCRQ_TEST_SEED={script_seed}): {e}\n{:#?}",
+                rec.ops
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_lcrq_histories_satisfy_the_relaxed_specification() {
+    // refresh=1 keeps estimates fresh; tiny inner rings exercise switching
+    // under the front-end.
+    check_spec_relaxed("sharded:shards=4,d=2,refresh=1,inner=lcrq:ring=4", 30);
+}
+
+#[test]
+fn sharded_lscq_histories_satisfy_the_relaxed_specification() {
+    check_spec_relaxed("sharded:shards=4,d=2,refresh=1,inner=lscq:ring=4", 30);
+}
+
+#[test]
+fn sharded_with_stale_estimates_still_satisfies_the_relaxed_specification() {
+    // A huge refresh interval makes every estimate arbitrarily stale: the
+    // relaxation may grow but exactly-once and honest-EMPTY must hold (the
+    // bound term scales with refresh, so the check stays meaningful via
+    // its duplicate/loss/premature-EMPTY arms).
+    check_spec_relaxed("sharded:shards=4,d=2,refresh=1000000,inner=lcrq:ring=4", 20);
+}
+
+#[test]
+fn sharded_single_shard_histories_are_strictly_linearizable() {
+    // shards=1 must add no relaxation at all: run the *strict* checker.
+    let spec = QueueSpec::parse("sharded:shards=1,d=1,inner=lcrq:ring=4").unwrap();
+    assert_eq!(spec.rank_error_bound(3), 0);
+    for seed in 0..20u64 {
+        let script_seed = lcrq::util::rng::test_seed(seed * 17 + 7);
+        let q = spec.build();
+        let rec = record(&q, &scripts(script_seed, 3, 4));
+        if let Err(e) = check_fifo(&rec) {
+            panic!(
+                "sharded(1): seed {script_seed} not linearizable \
+                 (reproduce with LCRQ_TEST_SEED={script_seed}): {e}\n{:#?}",
+                rec.ops
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_batch_histories_satisfy_the_relaxed_specification() {
+    let spec = QueueSpec::parse("sharded:shards=3,d=2,refresh=1,inner=lcrq:ring=2").unwrap();
+    let bound = spec.rank_error_bound(3);
+    for seed in 0..20u64 {
+        let script_seed = lcrq::util::rng::test_seed(seed * 19 + 9);
+        let q = spec.build();
+        let rec = record(&q, &batch_scripts(script_seed, 3, 3));
+        if let Err(e) = check_relaxed(&rec, bound) {
+            panic!(
+                "{spec}: batch seed {script_seed} violated the relaxed spec at bound \
+                 {bound} (reproduce with LCRQ_TEST_SEED={script_seed}): {e}\n{:#?}",
+                rec.ops
+            );
+        }
+    }
 }
 
 /// The bare CRQ is a *tantrum* queue: enqueues may return CLOSED. Record

@@ -10,7 +10,7 @@
 #![cfg(feature = "proptest")]
 
 use lcrq::{ConcurrentQueue, Lcrq, LcrqCas, LcrqConfig, Lscq, LscqCas};
-use lcrq_bench::{make_queue, QueueKind};
+use lcrq_bench::{QueueKind, QueueSpec, ALL_KINDS};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 
@@ -63,6 +63,34 @@ fn batch_step_strategy() -> impl Strategy<Value = BatchStep> {
         3 => prop::collection::vec(0u64..1_000_000, 0..24).prop_map(BatchStep::EnqBatch),
         3 => (0usize..24).prop_map(BatchStep::DeqBatch),
         1 => Just(BatchStep::Close),
+    ]
+}
+
+/// Arbitrary backend spec: any registry kind, any ring order (including
+/// the omitted-from-Display default 12), any cluster count.
+fn backend_spec_strategy() -> impl Strategy<Value = QueueSpec> {
+    (0..ALL_KINDS.len(), 1u32..=20, 1usize..=4).prop_map(|(k, ring, clusters)| {
+        QueueSpec::backend(ALL_KINDS[k])
+            .with_ring_order(ring)
+            .with_clusters(clusters)
+    })
+}
+
+/// Arbitrary spec: a bare backend, a sharded front-end over one, or a
+/// sharded front-end nested one level deep.
+fn spec_strategy() -> impl Strategy<Value = QueueSpec> {
+    let sharded = |inner: BoxedStrategy<QueueSpec>| {
+        (inner, 1usize..=8, 1usize..=8, 1u32..=128).prop_map(|(inner, shards, d, refresh)| {
+            QueueSpec::sharded(inner)
+                .with_shards(shards)
+                .with_d(d)
+                .with_refresh(refresh)
+        })
+    };
+    prop_oneof![
+        2 => backend_spec_strategy(),
+        2 => sharded(backend_spec_strategy().boxed()),
+        1 => sharded(sharded(backend_spec_strategy().boxed()).boxed()),
     ]
 }
 
@@ -161,8 +189,25 @@ proptest! {
             QueueKind::Optimistic,
             QueueKind::Baskets,
         ][kind_idx];
-        let q = make_queue(kind, 6, 1);
+        let q = QueueSpec::backend(kind).with_ring_order(6).build();
         run_against_model(&q, &steps);
+    }
+
+    #[test]
+    fn queue_specs_round_trip_through_display(spec in spec_strategy()) {
+        // Canonical form: Display then parse recovers the exact spec, and
+        // the canonical string is a fixed point of another round trip.
+        let rendered = spec.to_string();
+        let reparsed = QueueSpec::parse(&rendered);
+        prop_assert_eq!(reparsed, Ok(spec.clone()), "{}", rendered);
+        prop_assert_eq!(QueueSpec::parse(&rendered).unwrap().to_string(), rendered);
+    }
+
+    #[test]
+    fn queue_spec_parse_never_panics(s in "[a-z0-9:=,;-]{0,40}") {
+        // Arbitrary near-miss strings must yield Ok or Err, never a panic.
+        let _ = QueueSpec::parse(&s);
+        let _ = QueueSpec::parse_list(&s);
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Sharded d-choice front-end integration suite.
+//!
+//! Focus areas the shared batteries don't isolate:
+//!
+//! * the exact-empty fallback sweep when the balancer's cached length
+//!   estimates are deliberately desynchronized from reality (the
+//!   correctness property: counters are advisory, the sweep is ground
+//!   truth);
+//! * the strict-FIFO degenerate configurations;
+//! * the seeded stress entry points the ci.sh sharded gate replays under
+//!   four `LCRQ_TEST_SEED` values against both inner backend families.
+
+use lcrq::queues::testing;
+use lcrq::util::rng::test_seed;
+use lcrq::{ConcurrentQueue, Lcrq, LcrqConfig, ShardedConfig, ShardedQueue};
+use lcrq_bench::QueueSpec;
+
+fn sharded_lcrq(shards: usize, d: usize, refresh: u32) -> ShardedQueue<Lcrq> {
+    ShardedQueue::from_factory(
+        &ShardedConfig::new()
+            .with_shards(shards)
+            .with_d(d)
+            .with_refresh(refresh),
+        |_| Lcrq::with_config(LcrqConfig::new().with_ring_order(6)),
+    )
+}
+
+/// The balancer-counter mutation check: one thread's sampler is primed on
+/// an *empty* queue with an effectively infinite refresh interval, so its
+/// cached estimates claim every shard is empty forever. Elements then
+/// arrive from other threads (whose operations never update the stale
+/// cache). The consumer's dequeues must still find every element via the
+/// exact-empty fallback sweep — `None` while an element is definitely
+/// present is the regression this test pins down.
+#[test]
+fn stale_all_empty_estimates_never_cause_false_empty() {
+    let q = sharded_lcrq(8, 2, u32::MAX);
+    // Prime this thread's sampler: every estimate caches 0 and, with
+    // refresh = u32::MAX, is never re-read.
+    assert_eq!(q.dequeue(), None);
+    for round in 0..500u64 {
+        std::thread::scope(|s| {
+            s.spawn(|| q.enqueue(round));
+        });
+        // The producer has returned, so the element is definitely present;
+        // the stale estimates still say "all shards empty".
+        assert_eq!(
+            q.dequeue(),
+            Some(round),
+            "dequeue reported empty while element {round} was present"
+        );
+    }
+    assert_eq!(q.dequeue(), None);
+}
+
+/// The opposite desynchronization: the consumer's estimates claim every
+/// shard is *full* (primed while hundreds of elements were queued), then
+/// other threads drain everything. The consumer must chase its wrong
+/// first pick through the sweep and report the true state — finding a
+/// lone straggler if present, `None` once genuinely empty.
+#[test]
+fn stale_all_full_estimates_still_observe_reality() {
+    let q = sharded_lcrq(4, 2, u32::MAX);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..400u64 {
+                q.enqueue(i);
+            }
+        });
+    });
+    // Prime: estimates now cache ~100 elements per shard, never refreshed.
+    // (The first dequeue takes some shard's head — not necessarily the
+    // globally oldest element; this front-end is FIFO-up-to-relaxation.)
+    assert!(q.dequeue().is_some());
+    // Another thread drains the rest.
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut got = 1;
+            while q.dequeue().is_some() {
+                got += 1;
+            }
+            assert_eq!(got, 400);
+        });
+    });
+    // Estimates still say "full everywhere"; reality is empty.
+    assert_eq!(q.dequeue(), None);
+    // A single new element must be found despite the wrong-first-pick.
+    std::thread::scope(|s| {
+        s.spawn(|| q.enqueue(7777));
+    });
+    assert_eq!(q.dequeue(), Some(7777));
+    assert_eq!(q.dequeue(), None);
+}
+
+/// shards=1 (any d) is plain delegation and must stay strictly FIFO.
+#[test]
+fn single_shard_spec_is_strict_fifo() {
+    for spec_str in [
+        "sharded:shards=1,d=1,inner=lcrq",
+        "sharded:shards=1,inner=lscq",
+    ] {
+        let spec = QueueSpec::parse(spec_str).unwrap();
+        assert_eq!(spec.rank_error_bound(8), 0, "{spec_str}");
+        let q = spec.build();
+        testing::model_check(&q, 0x51AE ^ spec_str.len() as u64);
+        testing::mpmc_stress(&q, 2, 2, 2_000);
+    }
+}
+
+/// Degenerate configurations clamp instead of panicking, and the clamped
+/// queue still delivers exactly once.
+#[test]
+fn degenerate_configs_clamp_and_work() {
+    for (shards, d, refresh) in [(0usize, 0usize, 0u32), (1, 9, 1), (3, 99, u32::MAX)] {
+        let q = ShardedQueue::from_factory(
+            &ShardedConfig::new()
+                .with_shards(shards)
+                .with_d(d)
+                .with_refresh(refresh),
+            |_| Lcrq::with_config(LcrqConfig::new().with_ring_order(4)),
+        );
+        assert!(q.shards() >= 1);
+        assert!((1..=q.shards()).contains(&q.d()));
+        assert!(q.refresh() >= 1);
+        testing::mpmc_stress_relaxed(&q, 2, 2, 1_000, q.rank_error_bound(4));
+    }
+}
+
+/// ci.sh sharded-gate entry point: relaxed MPMC stress over the LCRQ
+/// inner backend, honoring `LCRQ_TEST_SEED` (the gate replays four
+/// seeds). The analytic envelope comes from the spec, the workload from
+/// the shared battery.
+#[test]
+fn seeded_stress_sharded_lcrq() {
+    let spec = QueueSpec::parse("sharded:shards=4,d=2,refresh=16,inner=lcrq:ring=6").unwrap();
+    let q = spec.build();
+    let seed = test_seed(0x5EED_0001);
+    testing::relaxed_model_check(&q, seed, spec.rank_error_bound(1) as usize);
+    testing::mpmc_stress_relaxed(&q, 3, 3, 4_000, spec.rank_error_bound(6));
+}
+
+/// ci.sh sharded-gate entry point: same battery over the SCQ-based
+/// portable inner backend.
+#[test]
+fn seeded_stress_sharded_lscq() {
+    let spec = QueueSpec::parse("sharded:shards=4,d=2,refresh=16,inner=lscq:ring=6").unwrap();
+    let q = spec.build();
+    let seed = test_seed(0x5EED_0002);
+    testing::relaxed_model_check(&q, seed, spec.rank_error_bound(1) as usize);
+    testing::mpmc_stress_relaxed(&q, 3, 3, 4_000, spec.rank_error_bound(6));
+}
