@@ -8,6 +8,18 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Deterministic replay helper: runs one `cargo test` invocation per seed
+# with LCRQ_TEST_SEED pinned, so any failure is reproducible from the
+# printed seed alone.  Usage: seed_sweep "<label>" "<seeds>" <cargo-test-args...>
+seed_sweep() {
+    local label=$1 seeds=$2 seed
+    shift 2
+    for seed in $seeds; do
+        echo "    $label seed=$seed"
+        LCRQ_TEST_SEED=$seed cargo test "$@"
+    done
+}
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -34,21 +46,35 @@ echo "==> SCQ/LSCQ gate"
 cargo test -p lcrq-core -q scq
 cargo test --test linearizability -q lscq
 
+# wCQ gate (DESIGN.md "wCQ helping"): the wait-free backend's unit suite,
+# the shared linearizability battery filtered to the wcq kinds, the
+# request-record state-machine suite, the full step-bound progress module
+# (wcq holds the per-op step ceiling with 2 of 8 threads stalled; lscq's
+# should_panic twin blows it), then the stall test replayed under four
+# pinned seeds.
+echo "==> wCQ gate"
+cargo test -p lcrq-core -q wcq
+cargo test --test linearizability -q wcq
+cargo test --test progress -q wcq
+cargo test --features fault-injection --test wcq_records -q
+cargo test --features fault-injection --test progress -q step_bound
+seed_sweep "wcq stall sweep" "0x1 0x5EED 0xC0FFEE 0xDEADBEEF" \
+    --features fault-injection --test progress -q \
+    step_bound::wcq_survivors
+
 # Sharded front-end gate (DESIGN.md "Sharded front-end & semantic
 # relaxation"): the relaxation checker's own unit suite, the QueueSpec
 # round-trip suite, then the seeded relaxed stress entry points replayed
-# under four LCRQ_TEST_SEED values against both inner backend families
-# (sharded:inner=lcrq and sharded:inner=lscq), and finally shard_scaling
+# under four LCRQ_TEST_SEED values against all three inner backend
+# families (sharded:inner=lcrq, =lscq, and =wcq), and finally shard_scaling
 # emitting the machine-readable perf-trajectory artifact
 # results/BENCH_shard.json (nonzero exit if measured relaxation ever
 # exceeds the analytic envelope).
 echo "==> sharded front-end gate"
 cargo test -p lcrq-verify -q relaxed
 cargo test -p lcrq-bench -q registry
-for seed in 0x1 0x5EED 0xC0FFEE 0xDEADBEEF; do
-    echo "    sharded seeded stress seed=$seed"
-    LCRQ_TEST_SEED=$seed cargo test --test sharded -q seeded_stress
-done
+seed_sweep "sharded seeded stress" "0x1 0x5EED 0xC0FFEE 0xDEADBEEF" \
+    --test sharded -q seeded_stress
 echo "    shard_scaling -> results/BENCH_shard.json"
 cargo run --release -q -p lcrq-bench --bin shard_scaling -- \
     --threads 8 --shards 1,8 --d 2 --pairs 4000 --relax-ops 1000 >/dev/null
@@ -60,12 +86,8 @@ cargo run --release -q -p lcrq-bench --bin shard_scaling -- \
 echo "==> fault-injection gate"
 cargo test -p lcrq-util --features fault-injection -q
 cargo test --features fault-injection --test fault_tolerance -q
-for seed in 0x1 0x2 0x3 0x5EED 0xC0FFEE 0xDEADBEEF 0xFA175EED 0xFFFFFFFF; do
-    echo "    stress sweep seed=$seed"
-    LCRQ_TEST_SEED=$seed \
-        cargo test --features fault-injection --test fault_tolerance -q \
-        stress_sweep
-done
+seed_sweep "stress sweep" "0x1 0x2 0x3 0x5EED 0xC0FFEE 0xDEADBEEF 0xFA175EED 0xFFFFFFFF" \
+    --features fault-injection --test fault_tolerance -q stress_sweep
 
 # Zero-cost assertion: the default (feature-off) release binary must not
 # contain the fault registry at all — every inject() site compiles to

@@ -14,7 +14,7 @@
 //!
 //! Usage: `fig6_throughput [--threads 1,2,4,8,16,20] [--pairs 20000]
 //!         [--runs 3] [--ring-order 12] [--oversubscribed]
-//!         [--queues lcrq,lcrq-cas,lscq,cc-queue,fc-queue,ms]`
+//!         [--queues lcrq,lcrq-cas,lscq,wcq,cc-queue,fc-queue,ms]`
 //!
 //! `--queues` takes spec strings (`sharded:shards=8,d=2,inner=lcrq` works;
 //! separate parameterized specs with `;`).
@@ -59,6 +59,7 @@ fn main() {
             QueueKind::Lcrq,
             QueueKind::LcrqCas,
             QueueKind::Lscq,
+            QueueKind::Wcq,
             QueueKind::Cc,
             QueueKind::Fc,
             QueueKind::Ms,

@@ -32,6 +32,7 @@ fn main() {
         QueueKind::LcrqCas,
         QueueKind::Lscq,
         QueueKind::LscqCas,
+        QueueKind::Wcq,
         QueueKind::Cc,
         QueueKind::Fc,
         QueueKind::Ms,

@@ -28,7 +28,5 @@ pub mod microbench;
 pub mod registry;
 pub mod workload;
 
-#[allow(deprecated)]
-pub use registry::make_queue;
 pub use registry::{QueueKind, QueueSpec, ALL_KINDS};
 pub use workload::{run_averaged, run_workload, RunConfig, RunResult};

@@ -19,7 +19,7 @@
 
 use lcrq_core::infinite::InfiniteArrayQueue;
 use lcrq_core::{
-    HierarchicalConfig, Lcrq, LcrqCas, LcrqConfig, Lscq, LscqCas, ShardedConfig, ShardedQueue,
+    HierarchicalConfig, Lcrq, LcrqCas, LcrqConfig, Lscq, LscqCas, ShardedConfig, ShardedQueue, Wcq,
 };
 use lcrq_queues::{
     BasketsQueue, CcQueue, ConcurrentQueue, FcQueue, HQueue, MsQueue, OptimisticQueue, SimQueue,
@@ -39,6 +39,8 @@ pub enum QueueKind {
     Lscq,
     /// LSCQ with CAS-loop F&A (the portable family's ablation twin).
     LscqCas,
+    /// wCQ: wait-free helping over the SCQ ring (Nikolaev, arXiv:2201.02179).
+    Wcq,
     /// Michael & Scott nonblocking queue.
     Ms,
     /// Michael & Scott two-lock queue.
@@ -66,6 +68,7 @@ pub const ALL_KINDS: &[QueueKind] = &[
     QueueKind::LcrqCas,
     QueueKind::Lscq,
     QueueKind::LscqCas,
+    QueueKind::Wcq,
     QueueKind::H,
     QueueKind::Cc,
     QueueKind::Fc,
@@ -87,6 +90,7 @@ impl QueueKind {
             "lcrq-cas" => Self::LcrqCas,
             "lscq" => Self::Lscq,
             "lscq-cas" => Self::LscqCas,
+            "wcq" => Self::Wcq,
             "ms" => Self::Ms,
             "two-lock" => Self::TwoLock,
             "cc-queue" | "cc" => Self::Cc,
@@ -108,6 +112,7 @@ impl QueueKind {
             Self::LcrqCas => "lcrq-cas",
             Self::Lscq => "lscq",
             Self::LscqCas => "lscq-cas",
+            Self::Wcq => "wcq",
             Self::Ms => "ms",
             Self::TwoLock => "two-lock",
             Self::Cc => "cc-queue",
@@ -438,6 +443,7 @@ impl QueueSpec {
                     QueueKind::LcrqCas => Box::new(LcrqCas::with_config(cfg)),
                     QueueKind::Lscq => Box::new(Lscq::with_config(cfg)),
                     QueueKind::LscqCas => Box::new(LscqCas::with_config(cfg)),
+                    QueueKind::Wcq => Box::new(Wcq::with_config(cfg)),
                     QueueKind::Ms => Box::new(MsQueue::new()),
                     QueueKind::TwoLock => Box::new(TwoLockQueue::new()),
                     QueueKind::Cc => Box::new(CcQueue::new()),
@@ -510,19 +516,6 @@ impl core::fmt::Display for QueueSpec {
             }
         }
     }
-}
-
-/// Instantiates a backend queue. `ring_order` applies to the LCRQ/LSCQ
-/// variants; `clusters` to the hierarchical algorithms.
-#[deprecated(
-    since = "0.2.0",
-    note = "use QueueSpec::parse(\"...\").build() (or QueueSpec::backend) instead"
-)]
-pub fn make_queue(kind: QueueKind, ring_order: u32, clusters: usize) -> Box<dyn ConcurrentQueue> {
-    QueueSpec::backend(kind)
-        .with_ring_order(ring_order)
-        .with_clusters(clusters)
-        .build()
 }
 
 #[cfg(test)]
@@ -671,15 +664,5 @@ mod tests {
         assert!(QueueSpec::parse("sharded:inner=h-queue")
             .unwrap()
             .is_hierarchical());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_make_queue_shim_still_works() {
-        for &k in ALL_KINDS {
-            let q = make_queue(k, 8, 2);
-            q.enqueue(9);
-            assert_eq!(q.dequeue(), Some(9), "{}", k.name());
-        }
     }
 }

@@ -51,7 +51,7 @@ use core::task::{Context, Poll};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use lcrq_core::{LcrqConfig, TypedLcrq};
+use lcrq_core::{LcrqConfig, TypedLcrq, TypedWcq};
 use lcrq_util::backoff::Backoff;
 use lcrq_util::metrics::{self, Event};
 use lcrq_util::CachePadded;
@@ -59,9 +59,98 @@ use lcrq_util::CachePadded;
 use crate::wait::WaitQueue;
 use crate::waker::Registration;
 
+/// Selects the nonblocking core a channel is built over.
+///
+/// Both cores share the tantrum-`CLOSED` shutdown convention the channel's
+/// settle protocol relies on; they differ in progress class:
+///
+/// * [`Lcrq`](ChannelBackend::Lcrq) — the paper's fetch-and-add ring list
+///   (default): highest throughput, lock-free.
+/// * [`Wcq`](ChannelBackend::Wcq) — the wait-free wCQ: every queue
+///   operation completes in a bounded number of the caller's own steps
+///   even when peer threads stall, at some throughput cost. The *channel*
+///   layer still blocks (that is its job); the bound applies to the queue
+///   operations under it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ChannelBackend {
+    /// LCRQ core (`TypedLcrq`) — the default.
+    #[default]
+    Lcrq,
+    /// Wait-free wCQ core (`TypedWcq`).
+    Wcq,
+}
+
+/// The channel's queue core: one variant per [`ChannelBackend`]. Static
+/// dispatch via `match` — no `dyn`, no generic parameter leaking into
+/// `Sender`/`Receiver`.
+enum Core<T: Send> {
+    Lcrq(TypedLcrq<T>),
+    Wcq(TypedWcq<T>),
+}
+
+impl<T: Send> Core<T> {
+    fn dequeue(&self) -> Option<T> {
+        match self {
+            Core::Lcrq(q) => q.dequeue(),
+            Core::Wcq(q) => q.dequeue(),
+        }
+    }
+
+    fn try_enqueue(&self, value: T) -> Result<(), T> {
+        match self {
+            Core::Lcrq(q) => q.try_enqueue(value),
+            Core::Wcq(q) => q.try_enqueue(value),
+        }
+    }
+
+    fn try_extend(&self, values: Vec<T>) -> Result<(), Vec<T>> {
+        match self {
+            Core::Lcrq(q) => q.try_extend(values),
+            Core::Wcq(q) => q.try_extend(values),
+        }
+    }
+
+    fn drain_into(&self, out: &mut Vec<T>, max: usize) -> usize {
+        match self {
+            Core::Lcrq(q) => q.drain_into(out, max),
+            Core::Wcq(q) => q.drain_into(out, max),
+        }
+    }
+
+    fn close(&self) -> bool {
+        match self {
+            Core::Lcrq(q) => q.close(),
+            Core::Wcq(q) => q.close(),
+        }
+    }
+
+    fn is_closed(&self) -> bool {
+        match self {
+            Core::Lcrq(q) => q.is_closed(),
+            Core::Wcq(q) => q.is_closed(),
+        }
+    }
+
+    fn is_empty_hint(&self) -> bool {
+        match self {
+            Core::Lcrq(q) => q.is_empty_hint(),
+            Core::Wcq(q) => q.is_empty_hint(),
+        }
+    }
+}
+
+impl<T: Send> Core<T> {
+    fn build(backend: ChannelBackend, config: LcrqConfig) -> Self {
+        match backend {
+            ChannelBackend::Lcrq => Core::Lcrq(TypedLcrq::with_config(config)),
+            ChannelBackend::Wcq => Core::Wcq(TypedWcq::with_config(config)),
+        }
+    }
+}
+
 /// State shared by all handles of one channel.
 struct Shared<T: Send> {
-    queue: TypedLcrq<T>,
+    queue: Core<T>,
     /// `None` for unbounded channels (the credit counter is then unused and
     /// the send path performs no extra atomics).
     capacity: Option<u64>,
@@ -152,12 +241,21 @@ impl<T: Send> Shared<T> {
 /// Creates an unbounded channel: sends never block (the LCRQ grows by
 /// linking rings) and consumers park when empty.
 pub fn channel<T: Send>() -> (Sender<T>, Receiver<T>) {
-    with_queue(TypedLcrq::new(), None)
+    with_queue(Core::Lcrq(TypedLcrq::new()), None)
 }
 
 /// [`channel`] with an explicit LCRQ configuration (ring size etc.).
 pub fn channel_with_config<T: Send>(config: LcrqConfig) -> (Sender<T>, Receiver<T>) {
-    with_queue(TypedLcrq::with_config(config), None)
+    with_queue(Core::Lcrq(TypedLcrq::with_config(config)), None)
+}
+
+/// [`channel`] over an explicit queue core ([`ChannelBackend`]): pick
+/// `Wcq` for a channel whose queue operations are wait-free.
+pub fn channel_with_backend<T: Send>(
+    backend: ChannelBackend,
+    config: LcrqConfig,
+) -> (Sender<T>, Receiver<T>) {
+    with_queue(Core::build(backend, config), None)
 }
 
 /// Creates a bounded channel holding at most `capacity` items: sends block
@@ -177,12 +275,25 @@ pub fn bounded_with_config<T: Send>(
     capacity: usize,
     config: LcrqConfig,
 ) -> (Sender<T>, Receiver<T>) {
-    assert!(capacity > 0, "bounded channel capacity must be at least 1");
-    assert!(capacity as u64 <= i64::MAX as u64, "capacity too large");
-    with_queue(TypedLcrq::with_config(config), Some(capacity as u64))
+    bounded_with_backend(capacity, ChannelBackend::Lcrq, config)
 }
 
-fn with_queue<T: Send>(queue: TypedLcrq<T>, capacity: Option<u64>) -> (Sender<T>, Receiver<T>) {
+/// [`bounded`] over an explicit queue core ([`ChannelBackend`]).
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero, as [`bounded`] does.
+pub fn bounded_with_backend<T: Send>(
+    capacity: usize,
+    backend: ChannelBackend,
+    config: LcrqConfig,
+) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "bounded channel capacity must be at least 1");
+    assert!(capacity as u64 <= i64::MAX as u64, "capacity too large");
+    with_queue(Core::build(backend, config), Some(capacity as u64))
+}
+
+fn with_queue<T: Send>(queue: Core<T>, capacity: Option<u64>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
         queue,
         capacity,
@@ -926,6 +1037,91 @@ mod tests {
             total,
             "every in-flight value drops exactly once on shutdown"
         );
+    }
+
+    #[test]
+    fn wcq_backend_round_trip_and_shutdown() {
+        let (tx, rx) = channel_with_backend::<String>(ChannelBackend::Wcq, LcrqConfig::default());
+        tx.send("a".to_string()).unwrap();
+        tx.send("b".to_string()).unwrap();
+        assert_eq!(rx.recv().unwrap(), "a");
+        assert_eq!(rx.try_recv().unwrap(), "b");
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError::Disconnected));
+    }
+
+    #[test]
+    fn wcq_backend_bounded_blocks_and_recovers() {
+        let (tx, rx) = bounded_with_backend::<u32>(1, ChannelBackend::Wcq, LcrqConfig::default());
+        tx.send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        let h = std::thread::spawn(move || {
+            tx.send(2).unwrap();
+            tx
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(rx.recv(), Ok(1));
+        let tx = h.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError::Disconnected));
+    }
+
+    #[test]
+    fn wcq_backend_batch_and_tiny_rings() {
+        let (tx, rx) =
+            channel_with_backend::<u64>(ChannelBackend::Wcq, LcrqConfig::new().with_ring_order(3));
+        tx.send_batch((0..500).collect()).unwrap();
+        let mut out = Vec::new();
+        while out.len() < 500 {
+            rx.recv_batch(&mut out, 64).unwrap();
+        }
+        assert_eq!(out, (0..500).collect::<Vec<u64>>());
+        drop(tx);
+        assert_eq!(rx.recv_batch(&mut out, 4), Err(RecvError::Disconnected));
+    }
+
+    #[test]
+    fn wcq_backend_mpmc_stress() {
+        let (tx, rx) =
+            channel_with_backend::<u64>(ChannelBackend::Wcq, LcrqConfig::new().with_ring_order(4));
+        let producers = 3u64;
+        let per = 2_000u64;
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    tx.send((p << 32) | i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        assert_eq!(all.len() as u64, producers * per, "lost items");
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len() as u64, producers * per, "duplicates");
     }
 
     #[test]

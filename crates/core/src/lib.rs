@@ -30,6 +30,11 @@
 //!   for arbitrary payloads — no double-width CAS anywhere, so this
 //!   backend would run on non-x86 targets. [`Lscq`] links SCQ rings with
 //!   the same tantrum/CLOSED convention as [`Lcrq`].
+//! * [`wcq::Wcq`] — the wait-free sibling (Nikolaev's wCQ,
+//!   arXiv:2201.02179): the SCQ cycle arithmetic plus per-ring request
+//!   records and help-first scanning, so every operation completes in a
+//!   bounded number of its own steps even when peers stall. See the
+//!   module docs for the claim-serialized helping protocol.
 //! * [`sharded::ShardedQueue`] — a relaxed d-choice front-end: N shards of
 //!   any backend behind one facade, balanced by cached length estimates,
 //!   with an exact-empty fallback sweep. Trades a bounded amount of
@@ -66,6 +71,7 @@ pub mod pool;
 pub mod scq;
 pub mod sharded;
 pub mod typed;
+pub mod wcq;
 
 pub use config::{HierarchicalConfig, LcrqConfig};
 pub use crq::{Crq, CrqClosed};
@@ -74,7 +80,8 @@ pub use lscq::{Lscq, LscqCas, LscqGeneric};
 pub use pool::RingPool;
 pub use scq::{Scq, ScqD};
 pub use sharded::{rank_error_bound_for, ShardedConfig, ShardedQueue};
-pub use typed::{TypedLcrq, TypedLscq};
+pub use typed::{TypedLcrq, TypedLscq, TypedWcq};
+pub use wcq::{Wcq, WcqGeneric, WcqRing};
 
 /// The reserved "empty cell" value ⊥. User values must be strictly below it.
 pub const BOTTOM: u64 = u64::MAX;

@@ -357,6 +357,185 @@ impl<T: Send, P: FaaPolicy> Drop for TypedLscq<T, P> {
 unsafe impl<T: Send, P: FaaPolicy> Send for TypedLscq<T, P> {}
 unsafe impl<T: Send, P: FaaPolicy> Sync for TypedLscq<T, P> {}
 
+/// The typed facade over the wait-free [`WcqGeneric`]: boxed values ride
+/// the helped fast path exactly as [`TypedLscq`] values ride the SCQ one,
+/// so channels and other `T`-valued layers inherit the bounded-steps
+/// progress class.
+///
+/// ```
+/// use lcrq_core::TypedWcq;
+/// let q: TypedWcq<String> = TypedWcq::new();
+/// q.enqueue("hello".to_string());
+/// assert_eq!(q.dequeue().as_deref(), Some("hello"));
+/// assert_eq!(q.dequeue(), None);
+/// ```
+///
+/// [`WcqGeneric`]: crate::WcqGeneric
+pub struct TypedWcq<T: Send, P: FaaPolicy = HardwareFaa> {
+    inner: crate::wcq::WcqGeneric<P>,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Send, P: FaaPolicy> TypedWcq<T, P> {
+    /// Creates an empty queue with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(LcrqConfig::default())
+    }
+
+    /// Creates an empty queue with an explicit configuration.
+    pub fn with_config(config: LcrqConfig) -> Self {
+        Self {
+            inner: crate::wcq::WcqGeneric::with_config(config),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Appends `value`.
+    pub fn enqueue(&self, value: T) {
+        let ptr = Box::into_raw(Box::new(value)) as u64;
+        debug_assert!(ptr < crate::BOTTOM && ptr != 0);
+        self.inner.enqueue(ptr);
+    }
+
+    /// Removes and returns the oldest value, or `None` if empty.
+    pub fn dequeue(&self) -> Option<T> {
+        self.inner.dequeue().map(|ptr| {
+            // SAFETY: every value in the queue is a Box::into_raw'd `T`
+            // handed out exactly once by linearizability.
+            *unsafe { Box::from_raw(ptr as *mut T) }
+        })
+    }
+
+    /// Appends `value` unless the queue has been [`close`](Self::close)d,
+    /// in which case ownership is handed back as `Err(value)`.
+    pub fn try_enqueue(&self, value: T) -> Result<(), T> {
+        let raw = Box::into_raw(Box::new(value));
+        debug_assert!((raw as u64) < crate::BOTTOM && !raw.is_null());
+        self.inner.try_enqueue(raw as u64).map_err(|ptr| {
+            // SAFETY: the queue rejected the pointer; we still own the box.
+            *unsafe { Box::from_raw(ptr as *mut T) }
+        })
+    }
+
+    /// Appends every value of `iter` (scalar enqueues — wCQ has no
+    /// multi-slot reservation path). Takes `&self`: concurrent callers are
+    /// fine.
+    pub fn extend<I: IntoIterator<Item = T>>(&self, iter: I) {
+        for value in iter {
+            self.enqueue(value);
+        }
+    }
+
+    /// Batch counterpart of [`try_enqueue`](Self::try_enqueue): appends
+    /// every value of `values` in order, or — if the queue closes partway —
+    /// returns the **unplaced suffix** as `Err(remainder)`. wCQ has no
+    /// multi-slot reservation, so this is a sequence of scalar enqueues;
+    /// the placed prefix is in the queue and drains normally.
+    pub fn try_extend(&self, values: Vec<T>) -> Result<(), Vec<T>> {
+        let mut it = values.into_iter();
+        while let Some(value) = it.next() {
+            if let Err(v) = self.try_enqueue(value) {
+                let mut rest = vec![v];
+                rest.extend(it);
+                return Err(rest);
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes the queue for further enqueues:
+    /// [`try_enqueue`](Self::try_enqueue) starts failing while dequeues
+    /// drain the remaining items. Returns `true` on the first call.
+    pub fn close(&self) -> bool {
+        self.inner.close()
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.is_closed()
+    }
+
+    /// Whether the queue appears empty (racy snapshot).
+    pub fn is_empty_hint(&self) -> bool {
+        self.inner.is_empty_hint()
+    }
+
+    /// Removes up to `max` of the oldest values, appending them to `out` in
+    /// FIFO order; returns how many were moved. A return `< max` is a
+    /// linearizable EMPTY observation (scalar dequeues — each one is its
+    /// own linearization point).
+    pub fn drain_into(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut taken = 0;
+        while taken < max {
+            match self.dequeue() {
+                Some(v) => {
+                    out.push(v);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        taken
+    }
+
+    /// Returns an iterator that dequeues until the queue reports empty.
+    pub fn drain(&self) -> WcqTypedDrain<'_, T, P> {
+        WcqTypedDrain { queue: self }
+    }
+}
+
+impl<T: Send, P: FaaPolicy> Default for TypedWcq<T, P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send, P: FaaPolicy> core::fmt::Debug for TypedWcq<T, P> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TypedWcq")
+            .field("value_type", &core::any::type_name::<T>())
+            .finish()
+    }
+}
+
+impl<T: Send, P: FaaPolicy> FromIterator<T> for TypedWcq<T, P> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let q = Self::new();
+        q.extend(iter);
+        q
+    }
+}
+
+impl<T: Send, P: FaaPolicy> Extend<T> for TypedWcq<T, P> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        TypedWcq::extend(self, iter);
+    }
+}
+
+/// Draining iterator returned by [`TypedWcq::drain`].
+pub struct WcqTypedDrain<'a, T: Send, P: FaaPolicy> {
+    queue: &'a TypedWcq<T, P>,
+}
+
+impl<T: Send, P: FaaPolicy> Iterator for WcqTypedDrain<'_, T, P> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.queue.dequeue()
+    }
+}
+
+impl<T: Send, P: FaaPolicy> Drop for TypedWcq<T, P> {
+    fn drop(&mut self) {
+        // Drain and drop any remaining boxed values before the rings go.
+        while self.dequeue().is_some() {}
+    }
+}
+
+// SAFETY: the queue owns boxed `T` values in transit; handing them across
+// threads requires `T: Send` (already bounded on the struct).
+unsafe impl<T: Send, P: FaaPolicy> Send for TypedWcq<T, P> {}
+unsafe impl<T: Send, P: FaaPolicy> Sync for TypedWcq<T, P> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -545,6 +724,52 @@ mod tests {
     #[test]
     fn lscq_close_returns_ownership_and_drains_in_order() {
         let q: TypedLscq<String> = TypedLscq::new();
+        assert_eq!(q.try_enqueue("a".into()), Ok(()));
+        q.extend(["b".to_string(), "c".to_string()]);
+        assert!(q.close());
+        assert!(q.is_closed());
+        assert_eq!(q.try_enqueue("x".to_string()), Err("x".to_string()));
+        let drained: Vec<String> = q.drain().collect();
+        assert_eq!(drained, vec!["a", "b", "c"]);
+        assert!(format!("{q:?}").contains("String"));
+    }
+
+    #[test]
+    fn wcq_fifo_of_strings() {
+        let q: TypedWcq<String> = TypedWcq::with_config(LcrqConfig::new().with_ring_order(3));
+        for i in 0..100 {
+            q.enqueue(format!("item-{i}"));
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(format!("item-{i}")));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn wcq_values_are_dropped_exactly_once() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let q: TypedWcq<Counted> = TypedWcq::with_config(LcrqConfig::new().with_ring_order(2));
+        for _ in 0..50 {
+            q.enqueue(Counted(Arc::clone(&drops)));
+        }
+        for _ in 0..20 {
+            drop(q.dequeue());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 20);
+        drop(q); // remaining 30 freed by the queue's Drop
+        assert_eq!(drops.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn wcq_close_returns_ownership_and_drains_in_order() {
+        let q: TypedWcq<String> = TypedWcq::new();
         assert_eq!(q.try_enqueue("a".into()), Ok(()));
         q.extend(["b".to_string(), "c".to_string()]);
         assert!(q.close());

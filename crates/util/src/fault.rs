@@ -102,10 +102,26 @@ pub enum Site {
     /// stale-estimate worst case; a `Stall` here parks the thread while its
     /// cached estimates go arbitrarily stale.
     ShardSample,
+    /// The wCQ fast-path enqueue read→CAS2 window. `Fail` makes the
+    /// placement attempt spuriously fail; after a bounded number of
+    /// fast-path attempts the operation announces a request record and
+    /// escapes to the helping slow path (the wait-freedom mechanism a
+    /// lock-free ring does not have).
+    WcqEnqueue,
+    /// The wCQ fast-path dequeue read→CAS2 window. `Fail` makes the
+    /// consume attempt spuriously fail, with the same bounded-attempt
+    /// escape to the slow path as [`Site::WcqEnqueue`].
+    WcqDequeue,
+    /// The wCQ helping loop, between reading a pending request record and
+    /// acting on it. `Fail` forces one extra re-read of the record (a
+    /// helper losing its race); a `Stall` parks the thread mid-help, the
+    /// scenario helpers must tolerate because every record transition is
+    /// CAS-published and any peer can finish the request.
+    WcqHelp,
 }
 
 /// Number of distinct [`Site`]s.
-pub const NUM_SITES: usize = Site::ShardSample as usize + 1;
+pub const NUM_SITES: usize = Site::WcqHelp as usize + 1;
 
 impl Site {
     /// Every site, in declaration order.
@@ -127,6 +143,9 @@ impl Site {
         Site::ChannelPark,
         Site::WakerRegister,
         Site::ShardSample,
+        Site::WcqEnqueue,
+        Site::WcqDequeue,
+        Site::WcqHelp,
     ];
 
     /// Stable lowercase name, used in scenario displays and hit logs.
@@ -149,6 +168,9 @@ impl Site {
             Site::ChannelPark => "channel-park",
             Site::WakerRegister => "waker-register",
             Site::ShardSample => "shard-sample",
+            Site::WcqEnqueue => "wcq-enqueue",
+            Site::WcqDequeue => "wcq-dequeue",
+            Site::WcqHelp => "wcq-help",
         }
     }
 }

@@ -89,9 +89,19 @@ pub enum Event {
     /// A fallible enqueue degraded to `AllocFailed` because the ring pool
     /// was empty and the (injected) allocator refused a fresh ring.
     AllocDegraded,
+    /// A wCQ operation exhausted its bounded fast path and announced a
+    /// request record (escaped to the helping slow path).
+    HelpAnnounce,
+    /// A wCQ operation completed a *peer's* pending request (help-first
+    /// scan or slow-path cooperation), observed by the record transition
+    /// it published.
+    HelpGranted,
+    /// A wCQ request record reached a terminal phase (done / ring-closed),
+    /// whichever thread got it there.
+    HelpFinalized,
 }
 
-const NUM_EVENTS: usize = Event::AllocDegraded as usize + 1;
+const NUM_EVENTS: usize = Event::HelpFinalized as usize + 1;
 
 const EVENT_NAMES: [&str; NUM_EVENTS] = [
     "faa",
@@ -126,6 +136,9 @@ const EVENT_NAMES: [&str; NUM_EVENTS] = [
     "threshold_exhausted",
     "fault_injected",
     "alloc_degraded",
+    "help_announce",
+    "help_granted",
+    "help_finalized",
 ];
 
 thread_local! {
@@ -174,9 +187,18 @@ pub fn reset() {
 }
 
 /// An aggregate view of all flushed counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Snapshot {
     counts: [u64; NUM_EVENTS],
+}
+
+// Manual impl: the std array Default derive stops at 32 elements.
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot {
+            counts: [0; NUM_EVENTS],
+        }
+    }
 }
 
 /// Returns the current global aggregate (flushed counters only).

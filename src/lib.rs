@@ -68,7 +68,7 @@ pub use lcrq_util as util;
 pub use lcrq_core::{
     rank_error_bound_for, Crq, CrqClosed, HierarchicalConfig, Lcrq, LcrqCas, LcrqConfig,
     LcrqGeneric, Lscq, LscqCas, LscqGeneric, RingPool, Scq, ScqD, ShardedConfig, ShardedQueue,
-    TypedLcrq, TypedLscq,
+    TypedLcrq, TypedLscq, TypedWcq, Wcq, WcqGeneric, WcqRing,
 };
 pub use lcrq_queues::{
     CcQueue, ClosableQueue, ConcurrentQueue, FcQueue, HQueue, MsQueue, TwoLockQueue,

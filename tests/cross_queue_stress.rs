@@ -34,13 +34,15 @@ fn mpmc_stress_every_kind() {
 #[test]
 fn mpmc_stress_lcrq_variants_with_tiny_rings() {
     // Ring switching under contention is LCRQ's trickiest path; LSCQ
-    // shares the list structure but swaps in SCQ rings underneath.
+    // shares the list structure but swaps in SCQ rings underneath, and wCQ
+    // adds the helping records on top.
     for kind in [
         QueueKind::Lcrq,
         QueueKind::LcrqCas,
         QueueKind::LcrqH,
         QueueKind::Lscq,
         QueueKind::LscqCas,
+        QueueKind::Wcq,
     ] {
         let q = backend(kind, 3); // R = 8
         testing::mpmc_stress(&q, 3, 3, 3_000);
@@ -109,6 +111,7 @@ fn mpmc_batch_stress_lcrq_variants_with_tiny_rings() {
         QueueKind::LcrqH,
         QueueKind::Lscq,
         QueueKind::LscqCas,
+        QueueKind::Wcq,
     ] {
         let q = backend(kind, 3); // R = 8
         testing::mpmc_batch_stress(&q, 3, 3, 3_000, 16);
@@ -185,6 +188,7 @@ fn alternating_empty_nonempty_every_kind() {
 const SHARDED_SPECS: &[&str] = &[
     "sharded:shards=4,d=2,refresh=8,inner=lcrq:ring=6",
     "sharded:shards=4,d=2,refresh=8,inner=lscq:ring=6",
+    "sharded:shards=4,d=2,refresh=8,inner=wcq:ring=6",
     "sharded:shards=2,d=2,refresh=4,inner=sharded:shards=2,d=1,refresh=4,inner=lcrq:ring=6",
 ];
 

@@ -20,7 +20,7 @@ use lcrq::queues::EnqueueError;
 use lcrq::util::fault::{self, FaultAction, Scenario, Site};
 use lcrq::util::rng::test_seed;
 use lcrq::{
-    rank_error_bound_for, ConcurrentQueue, Lcrq, Lscq, LscqCas, ShardedConfig, ShardedQueue,
+    rank_error_bound_for, ConcurrentQueue, Lcrq, Lscq, LscqCas, ShardedConfig, ShardedQueue, Wcq,
 };
 
 /// Serializes tests: the fail-point registry is process-global.
@@ -160,6 +160,13 @@ fn survivors_outlive_stalled_peers_lscq_cas() {
     let _g = guard();
     let q = LscqCas::with_config(tiny());
     crash_tolerant("lscq-cas", &q, |q: &LscqCas| q.hazard_domain());
+}
+
+#[test]
+fn survivors_outlive_stalled_peers_wcq() {
+    let _g = guard();
+    let q = Wcq::with_config(tiny());
+    crash_tolerant("wcq", &q, |q: &Wcq| q.hazard_domain());
 }
 
 /// Same seed ⇒ byte-identical hit log, end to end through the real queue
@@ -344,6 +351,9 @@ fn stress_sweep() {
         .with(Site::PoolPop, 2_000, FaultAction::Yield)
         .with(Site::PoolScrub, 2_000, FaultAction::Yield)
         .with(Site::HazardScan, 2_000, FaultAction::Yield)
+        .with(Site::WcqEnqueue, 3_000, FaultAction::Fail)
+        .with(Site::WcqDequeue, 3_000, FaultAction::Fail)
+        .with(Site::WcqHelp, 2_000, FaultAction::Yield)
         .with(Site::CrqDequeue, 1_000, FaultAction::SpinDelay(64));
     let stext = scenario.to_string();
     scenario.arm();
@@ -354,6 +364,8 @@ fn stress_sweep() {
         mpmc_stress(&q, 3, 3, 4_000);
         let q = LscqCas::with_config(tiny());
         mpmc_stress(&q, 2, 2, 2_000);
+        let q = Wcq::with_config(tiny());
+        mpmc_stress(&q, 3, 3, 4_000);
     });
     fault::disarm();
     if let Err(e) = result {

@@ -133,6 +133,18 @@ fn lscq_cas_histories_are_linearizable() {
 }
 
 #[test]
+fn wcq_histories_are_linearizable() {
+    check_kind(QueueKind::Wcq, 40);
+}
+
+#[test]
+fn wcq_batch_histories_are_linearizable() {
+    // wCQ has no native batch path: scalar-loop defaults over tiny rings,
+    // closing and spilling mid-batch — helped placements included.
+    check_kind_batched(QueueKind::Wcq, 2, 30);
+}
+
+#[test]
 fn lscq_batch_histories_are_linearizable() {
     // LSCQ has no native batch path: these run the trait's scalar-loop
     // defaults over tiny rings, closing and spilling mid-batch.
@@ -200,7 +212,7 @@ fn every_kind_is_covered_by_a_linearizability_test() {
     // Guard against new registry kinds silently skipping verification.
     // (The sharded front-end is a spec wrapper, not a kind: its histories
     // are checked by the relaxed tests below.)
-    assert_eq!(ALL_KINDS.len(), 14);
+    assert_eq!(ALL_KINDS.len(), 15);
 }
 
 /// Records real concurrent histories of a sharded spec and checks them with
@@ -233,6 +245,11 @@ fn sharded_lcrq_histories_satisfy_the_relaxed_specification() {
 #[test]
 fn sharded_lscq_histories_satisfy_the_relaxed_specification() {
     check_spec_relaxed("sharded:shards=4,d=2,refresh=1,inner=lscq:ring=4", 30);
+}
+
+#[test]
+fn sharded_wcq_histories_satisfy_the_relaxed_specification() {
+    check_spec_relaxed("sharded:shards=4,d=2,refresh=1,inner=wcq:ring=4", 30);
 }
 
 #[test]

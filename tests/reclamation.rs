@@ -5,7 +5,7 @@
 
 use lcrq::hazard::Domain;
 use lcrq::util::metrics::{self, Event};
-use lcrq::{Crq, Lcrq, LcrqConfig, Lscq, RingPool, ScqD, TypedLcrq, TypedLscq};
+use lcrq::{Crq, Lcrq, LcrqConfig, Lscq, RingPool, ScqD, TypedLcrq, TypedLscq, TypedWcq, Wcq};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -474,6 +474,124 @@ fn lscq_adversary_churn_preserves_per_producer_fifo() {
     // an ABA through a reclaimed ring would surface as loss or duplication.
     lcrq::util::adversary::set_preempt_ppm(20_000);
     let q = Lscq::with_config(LcrqConfig::new().with_ring_order(2));
+    const PRODUCERS: u64 = 2;
+    const PER: u64 = 20_000;
+    let q = &q;
+    let seen: Vec<Vec<u64>> = std::thread::scope(|s| {
+        for t in 0..PRODUCERS {
+            s.spawn(move || {
+                for i in 0..PER {
+                    q.enqueue(t << 48 | i);
+                }
+            });
+        }
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    let mut misses = 0u32;
+                    while misses < 1_000 {
+                        match q.dequeue() {
+                            Some(v) => {
+                                misses = 0;
+                                got.push(v);
+                            }
+                            None => {
+                                misses += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        consumers.into_iter().map(|c| c.join().unwrap()).collect()
+    });
+    let mut remaining: Vec<u64> = Vec::new();
+    while let Some(v) = q.dequeue() {
+        remaining.push(v);
+    }
+    let mut counts = vec![0u64; PRODUCERS as usize];
+    for stream in seen.iter().chain(std::iter::once(&remaining)) {
+        let mut stream_last = vec![None::<u64>; PRODUCERS as usize];
+        for &v in stream {
+            let (t, i) = ((v >> 48) as usize, v & ((1 << 48) - 1));
+            counts[t] += 1;
+            assert!(stream_last[t].is_none_or(|p| p < i), "reordered: {v:#x}");
+            stream_last[t] = Some(i);
+        }
+    }
+    for (t, &c) in counts.iter().enumerate() {
+        assert_eq!(c, PER, "producer {t}: lost or duplicated items");
+    }
+    lcrq::util::adversary::set_preempt_ppm(0);
+}
+
+// ---------------------------------------------------------------------------
+// wCQ suite: the wait-free list shares the LSCQ chain/hazard machinery, but
+// dequeues may complete through helper records — values bound into a slot by
+// one thread and published by another must still drop exactly once.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wcq_typed_values_drop_exactly_once_through_ring_churn() {
+    let drops = Arc::new(AtomicUsize::new(0));
+    let q: TypedWcq<DropCounter> = TypedWcq::with_config(LcrqConfig::new().with_ring_order(2));
+    const N: usize = 5_000;
+    for _ in 0..N {
+        q.enqueue(DropCounter(Arc::clone(&drops)));
+    }
+    for _ in 0..N / 2 {
+        drop(q.dequeue().expect("items present"));
+    }
+    assert_eq!(drops.load(Ordering::SeqCst), N / 2);
+    drop(q);
+    assert_eq!(drops.load(Ordering::SeqCst), N, "queue drop frees the rest");
+}
+
+#[test]
+fn wcq_ring_churn_does_not_accumulate_rings() {
+    let q = Wcq::with_config(LcrqConfig::new().with_ring_order(2));
+    for round in 0..200u64 {
+        for i in 0..100 {
+            q.enqueue(round * 1000 + i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(round * 1000 + i));
+        }
+    }
+    assert!(
+        q.ring_count() <= 3,
+        "live wCQ ring chain should stay short, got {}",
+        q.ring_count()
+    );
+}
+
+#[test]
+fn wcq_concurrent_churn_then_quiescent_drop() {
+    let q = Wcq::with_config(LcrqConfig::new().with_ring_order(3));
+    let q = &q;
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            s.spawn(move || {
+                for i in 0..10_000u64 {
+                    q.enqueue(t << 40 | i);
+                    let _ = q.dequeue();
+                }
+            });
+        }
+    });
+    while q.dequeue().is_some() {}
+}
+
+#[test]
+fn wcq_adversary_churn_preserves_per_producer_fifo() {
+    // Same ABA-through-reclamation hunt as the LSCQ variant, with the extra
+    // hazard that a helper may finish a dequeue against a ring another
+    // thread is about to retire.
+    lcrq::util::adversary::set_preempt_ppm(20_000);
+    let q = Wcq::with_config(LcrqConfig::new().with_ring_order(2));
     const PRODUCERS: u64 = 2;
     const PER: u64 = 20_000;
     let q = &q;

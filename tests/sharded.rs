@@ -149,3 +149,14 @@ fn seeded_stress_sharded_lscq() {
     testing::relaxed_model_check(&q, seed, spec.rank_error_bound(1) as usize);
     testing::mpmc_stress_relaxed(&q, 3, 3, 4_000, spec.rank_error_bound(6));
 }
+
+/// ci.sh sharded-gate entry point: same battery over the wait-free wCQ
+/// inner backend (helping engages under the stress battery's contention).
+#[test]
+fn seeded_stress_sharded_wcq() {
+    let spec = QueueSpec::parse("sharded:shards=4,d=2,refresh=16,inner=wcq:ring=6").unwrap();
+    let q = spec.build();
+    let seed = test_seed(0x5EED_0003);
+    testing::relaxed_model_check(&q, seed, spec.rank_error_bound(1) as usize);
+    testing::mpmc_stress_relaxed(&q, 3, 3, 4_000, spec.rank_error_bound(6));
+}
