@@ -89,6 +89,59 @@ cargo test --features fault-injection --test fault_tolerance -q
 seed_sweep "stress sweep" "0x1 0x2 0x3 0x5EED 0xC0FFEE 0xDEADBEEF 0xFA175EED 0xFFFFFFFF" \
     --features fault-injection --test fault_tolerance -q stress_sweep
 
+# Bench smoke gate (ISSUE 9 satellite): every harness binary runs once in
+# --smoke mode (seconds-long shrunken defaults; artifact-writing bins
+# redirect their default output under target/smoke/ so committed results/
+# artifacts are never clobbered). Catches bench bit-rot — a bin that
+# panics, hangs, or can no longer parse its flags fails CI even though
+# nothing else links it.
+echo "==> bench smoke gate (all harness bins, --smoke)"
+for bin in table1_primitives fig1_counter fig2_livelock fig6_throughput \
+    fig7_multiprocessor fig8_latency fig9_ringsize table2_stats \
+    table3_stats ring_churn channel_throughput batch_throughput \
+    shard_scaling pairwise; do
+    echo "    $bin --smoke"
+    cargo run --release -q -p lcrq-bench --bin "$bin" -- --smoke >/dev/null
+done
+
+# Arena regression gate (ISSUE 9 tentpole; ROADMAP "cross-library arena"):
+# the pairwise arena's stats/json/adapter unit suites, the contender
+# contract battery (exactly-once delivery, empty-is-empty, FIFO), then the
+# gate itself three ways:
+#   1. self-test — the committed planted-drop fixture must FAIL and the
+#      identity fixture must PASS, proving the gate can still catch a 20%
+#      regression against this baseline (fixtures regenerate via
+#      `pairwise --make-fixtures`; see results/README.md);
+#   2. integration suite — same checks plus schema/coverage validation of
+#      the committed artifacts, as a plain `cargo test`;
+#   3. live — a fresh flagship-only measurement diffed against the
+#      committed baseline; a >10% throughput drop (outside the combined
+#      95% margins of error) on lcrq, wcq, or the sharded flagship fails.
+# Any failure prints the seed to replay with (LCRQ_TEST_SEED).
+echo "==> arena regression gate"
+cargo test -p lcrq-bench -q arena
+cargo test -p lcrq-bench -q stats
+cargo test -p lcrq-bench -q json
+cargo test -p lcrq-bench --test contender_contract -q
+cargo test -p lcrq-bench --test arena_gate -q
+echo "    gate self-test: planted-drop fixture must fail"
+if cargo run --release -q -p lcrq-bench --bin pairwise -- --gate \
+    --baseline results/BENCH_arena.json \
+    --candidate results/fixtures/BENCH_arena_drop.json >/dev/null 2>&1; then
+    echo "planted-drop fixture PASSED the arena gate — the gate is blind"
+    exit 1
+fi
+echo "    gate self-test: identity fixture must pass"
+cargo run --release -q -p lcrq-bench --bin pairwise -- --gate \
+    --baseline results/BENCH_arena.json \
+    --candidate results/fixtures/BENCH_arena_pass.json >/dev/null
+echo "    live gate: fresh flagship-only run vs committed baseline"
+cargo run --release -q -p lcrq-bench --bin pairwise -- --flagship-only \
+    --out target/ci/BENCH_arena_fresh.json >/dev/null
+cargo run --release -q -p lcrq-bench --bin pairwise -- --gate \
+    --baseline results/BENCH_arena.json \
+    --candidate target/ci/BENCH_arena_fresh.json
+
 # Zero-cost assertion: the default (feature-off) release binary must not
 # contain the fault registry at all — every inject() site compiles to
 # nothing, not even the disabled-check load.

@@ -10,17 +10,17 @@
 //!
 //! Usage: `batch_throughput [--threads 4] [--pairs 20000]
 //!         [--batches 1,4,16,64] [--ring-order 12]
-//!         [--queues lcrq,lcrq-cas,ms]`
+//!         [--queues lcrq,lcrq-cas,ms] [--smoke]`
 
 use lcrq_bench::cli::Cli;
 use lcrq_bench::{run_workload, QueueKind, QueueSpec, RunConfig};
 
 fn main() {
     let cli = Cli::from_env();
-    let threads: usize = cli.get("threads", 4usize);
-    let pairs: u64 = cli.get("pairs", 20_000u64);
+    let threads: usize = cli.get_smoke("threads", 4usize, 2);
+    let pairs: u64 = cli.get_smoke("pairs", 20_000u64, 500);
     let ring_order: u32 = cli.get("ring-order", 12u32);
-    let batches = cli.get_list("batches", &[1usize, 4, 16, 64]);
+    let batches = cli.get_list_smoke("batches", &[1usize, 4, 16, 64], &[1, 16]);
     if let Some(&bad) = batches.iter().find(|&&b| b == 0) {
         eprintln!("error: --batches values must be >= 1 (got {bad})");
         std::process::exit(2);

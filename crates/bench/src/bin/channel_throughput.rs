@@ -17,7 +17,7 @@
 //! line (`{"bench":"channel", "results":[...]}`) on stdout.
 //!
 //! Usage: `channel_throughput [--producers 8] [--consumers 8]
-//!         [--pairs 10000] [--capacity 1024]`
+//!         [--pairs 10000] [--capacity 1024] [--smoke]`
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Barrier, Mutex};
@@ -219,9 +219,9 @@ fn idle_consumer_check() -> (u64, u64, Duration) {
 
 fn main() {
     let cli = Cli::from_env();
-    let producers: usize = cli.get("producers", 8usize);
-    let consumers: usize = cli.get("consumers", 8usize);
-    let per: u64 = cli.get("pairs", 10_000u64);
+    let producers: usize = cli.get_smoke("producers", 8usize, 2);
+    let consumers: usize = cli.get_smoke("consumers", 8usize, 2);
+    let per: u64 = cli.get_smoke("pairs", 10_000u64, 400);
     let capacity: usize = cli.get("capacity", 1024usize);
 
     println!(

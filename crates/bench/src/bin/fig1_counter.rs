@@ -7,7 +7,8 @@
 //! fail and must retry (4–6× slower at high thread counts on the paper's
 //! machine).
 //!
-//! Usage: `fig1_counter [--threads 1,2,4,8,16] [--increments 200000] [--runs 3]`
+//! Usage: `fig1_counter [--threads 1,2,4,8,16] [--increments 200000] [--runs 3]
+//!         [--smoke]`
 
 use lcrq_atomic::{ops, CasLoopFaa, FaaPolicy, HardwareFaa};
 use lcrq_bench::cli::Cli;
@@ -114,9 +115,9 @@ fn sweep<F: FaaPolicy, C: FaaPolicy>(threads: &[usize], increments: u64, runs: u
 
 fn main() {
     let cli = Cli::from_env();
-    let threads = cli.get_list("threads", &[1, 2, 4, 8, 16]);
-    let increments: u64 = cli.get("increments", 200_000u64);
-    let runs: usize = cli.get("runs", 3usize);
+    let threads = cli.get_list_smoke("threads", &[1, 2, 4, 8, 16], &[1, 2]);
+    let increments: u64 = cli.get_smoke("increments", 200_000u64, 5_000);
+    let runs: usize = cli.get_smoke("runs", 3usize, 1);
 
     println!("# Figure 1: contended counter increment, F&A vs CAS loop");
     println!("# increments/thread = {increments}, runs = {runs} (best shown)");

@@ -14,7 +14,8 @@
 //! ring-node visits for LCRQ — plus LCRQ's escape-hatch usage (rings
 //! closed).
 //!
-//! Usage: `fig2_livelock [--dequeuers 3] [--enqueues 20000] [--preempt-ppm 2000]`
+//! Usage: `fig2_livelock [--dequeuers 3] [--enqueues 20000] [--preempt-ppm 2000]
+//!         [--smoke]`
 
 use lcrq_bench::cli::Cli;
 use lcrq_core::infinite::InfiniteArrayQueue;
@@ -68,8 +69,8 @@ fn hammer<Q: ConcurrentQueue>(
 
 fn main() {
     let cli = Cli::from_env();
-    let dequeuers: usize = cli.get("dequeuers", 3usize);
-    let enqueues: u64 = cli.get("enqueues", 20_000u64);
+    let dequeuers: usize = cli.get_smoke("dequeuers", 3usize, 2);
+    let enqueues: u64 = cli.get_smoke("enqueues", 20_000u64, 1_000);
     lcrq_util::adversary::set_preempt_ppm(cli.get("preempt-ppm", 2_000u32));
 
     println!("# Figure 2 / §4: dequeuer-poisoning pressure on an enqueuer");

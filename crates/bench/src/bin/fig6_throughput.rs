@@ -14,7 +14,7 @@
 //!
 //! Usage: `fig6_throughput [--threads 1,2,4,8,16,20] [--pairs 20000]
 //!         [--runs 3] [--ring-order 12] [--oversubscribed]
-//!         [--queues lcrq,lcrq-cas,lscq,wcq,cc-queue,fc-queue,ms]`
+//!         [--queues lcrq,lcrq-cas,lscq,wcq,cc-queue,fc-queue,ms] [--smoke]`
 //!
 //! `--queues` takes spec strings (`sharded:shards=8,d=2,inner=lcrq` works;
 //! separate parameterized specs with `;`).
@@ -49,9 +49,9 @@ fn main() {
     } else {
         &[1, 2, 4, 8, 12, 16, 20]
     };
-    let threads = cli.get_list("threads", default_threads);
-    let pairs: u64 = cli.get("pairs", if over { 5_000 } else { 20_000 });
-    let runs: usize = cli.get("runs", 3usize);
+    let threads = cli.get_list_smoke("threads", default_threads, &[1, 2]);
+    let pairs: u64 = cli.get_smoke("pairs", if over { 5_000 } else { 20_000 }, 300);
+    let runs: usize = cli.get_smoke("runs", 3usize, 1);
     let ring_order: u32 = cli.get("ring-order", 12u32);
     let specs: Vec<QueueSpec> = match cli.get_str("queues") {
         Some(s) => QueueSpec::parse_list(s).unwrap_or_else(|e| panic!("--queues: {e}")),

@@ -13,16 +13,17 @@
 //! paths without NUMA latency.
 //!
 //! Usage: `fig7_multiprocessor [--threads 4,8,16,32,80] [--pairs 10000]
-//!         [--runs 3] [--ring-order 12] [--clusters 4] [--prefill 65536]`
+//!         [--runs 3] [--ring-order 12] [--clusters 4] [--prefill 65536]
+//!         [--smoke]`
 
 use lcrq_bench::cli::Cli;
 use lcrq_bench::{run_workload, QueueKind, QueueSpec, RunConfig};
 
 fn main() {
     let cli = Cli::from_env();
-    let threads = cli.get_list("threads", &[4, 8, 16, 32, 48, 80]);
-    let pairs: u64 = cli.get("pairs", 10_000u64);
-    let runs: usize = cli.get("runs", 3usize);
+    let threads = cli.get_list_smoke("threads", &[4, 8, 16, 32, 48, 80], &[2, 4]);
+    let pairs: u64 = cli.get_smoke("pairs", 10_000u64, 300);
+    let runs: usize = cli.get_smoke("runs", 3usize, 1);
     let ring_order: u32 = cli.get("ring-order", 12u32);
     let clusters: usize = cli.get("clusters", 4usize);
     let prefill: u64 = cli.get("prefill", 0u64);

@@ -8,15 +8,15 @@
 //! but rare tail from its cluster-gate timeout.
 //!
 //! Usage: `fig8_latency [--threads 20] [--pairs 5000] [--ring-order 12]
-//!         [--clusters 1] [--queues lcrq,cc-queue,fc-queue,ms]`
+//!         [--clusters 1] [--queues lcrq,cc-queue,fc-queue,ms] [--smoke]`
 
 use lcrq_bench::cli::Cli;
 use lcrq_bench::{run_workload, QueueKind, QueueSpec, RunConfig};
 
 fn main() {
     let cli = Cli::from_env();
-    let threads: usize = cli.get("threads", 20usize);
-    let pairs: u64 = cli.get("pairs", 5_000u64);
+    let threads: usize = cli.get_smoke("threads", 20usize, 4);
+    let pairs: u64 = cli.get_smoke("pairs", 5_000u64, 300);
     let ring_order: u32 = cli.get("ring-order", 12u32);
     let clusters: usize = cli.get("clusters", 1usize);
     // Optional scheduler adversary (see lcrq_util::adversary and DESIGN.md

@@ -9,17 +9,17 @@
 //! processors R = 1024 gives the full ≈1.5× advantage).
 //!
 //! Usage: `fig9_ringsize [--threads 16] [--pairs 10000] [--runs 3]
-//!         [--orders 3,5,7,9,11,13,15,17] [--clusters 1]`
+//!         [--orders 3,5,7,9,11,13,15,17] [--clusters 1] [--smoke]`
 
 use lcrq_bench::cli::Cli;
 use lcrq_bench::{run_workload, QueueKind, QueueSpec, RunConfig};
 
 fn main() {
     let cli = Cli::from_env();
-    let threads: usize = cli.get("threads", 16usize);
-    let pairs: u64 = cli.get("pairs", 10_000u64);
-    let runs: usize = cli.get("runs", 3usize);
-    let orders = cli.get_list("orders", &[3, 5, 7, 9, 11, 13, 15, 17]);
+    let threads: usize = cli.get_smoke("threads", 16usize, 2);
+    let pairs: u64 = cli.get_smoke("pairs", 10_000u64, 300);
+    let runs: usize = cli.get_smoke("runs", 3usize, 1);
+    let orders = cli.get_list_smoke("orders", &[3, 5, 7, 9, 11, 13, 15, 17], &[3, 7]);
     let clusters: usize = cli.get("clusters", 1usize);
     // Optional scheduler adversary (see lcrq_util::adversary and DESIGN.md
     // P1): emulates preemption landing inside critical windows, which this

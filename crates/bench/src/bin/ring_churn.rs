@@ -9,7 +9,7 @@
 //! allocs/op column that `table2_stats`/`table3_stats` also print.
 //!
 //! Usage: `ring_churn [--threads 2] [--rounds 10000] [--warmup 2000]
-//!                    [--ring-order 4] [--pool-caps 0,8]`
+//!                    [--ring-order 4] [--pool-caps 0,8] [--smoke]`
 
 use lcrq_bench::cli::Cli;
 use lcrq_core::{Lcrq, LcrqConfig};
@@ -37,8 +37,8 @@ fn churn(q: &Lcrq, vals: &[u64], out: &mut Vec<u64>) {
 fn main() {
     let cli = Cli::from_env();
     let threads = cli.get("threads", 2usize);
-    let rounds = cli.get("rounds", 10_000u64);
-    let warmup = cli.get("warmup", 2_000u64);
+    let rounds = cli.get_smoke("rounds", 10_000u64, 500);
+    let warmup = cli.get_smoke("warmup", 2_000u64, 100);
     let ring_order = cli.get("ring-order", 4u32);
     let pool_caps = cli.get_list("pool-caps", &[0, 8]);
     let batch = 4 * (1usize << ring_order); // ~4 ring closes per round

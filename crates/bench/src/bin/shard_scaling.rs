@@ -40,7 +40,7 @@
 //! Usage: `shard_scaling [--threads 2,8] [--shards 1,2,4,8] [--d 1,2]
 //!         [--refresh 64] [--inner lcrq] [--pairs 10000]
 //!         [--relax-ops 2000] [--preempt-ppm 500] [--hotspot-ns 150]
-//!         [--out results/BENCH_shard.json]`
+//!         [--out results/BENCH_shard.json] [--smoke]`
 
 use lcrq_bench::cli::Cli;
 use lcrq_bench::QueueSpec;
@@ -203,18 +203,22 @@ struct Row {
 
 fn main() {
     let cli = Cli::from_env();
-    let threads_list = cli.get_list("threads", &[2usize, 8]);
-    let shards_list = cli.get_list("shards", &[1usize, 2, 4, 8]);
-    let d_list = cli.get_list("d", &[1usize, 2]);
+    let threads_list = cli.get_list_smoke("threads", &[2usize, 8], &[2]);
+    let shards_list = cli.get_list_smoke("shards", &[1usize, 2, 4, 8], &[1, 2]);
+    let d_list = cli.get_list_smoke("d", &[1usize, 2], &[2]);
     let refresh: u32 = cli.get("refresh", 64u32);
-    let pairs: u64 = cli.get("pairs", 10_000u64);
-    let relax_ops: usize = cli.get("relax-ops", 2_000usize);
+    let pairs: u64 = cli.get_smoke("pairs", 10_000u64, 300);
+    let relax_ops: usize = cli.get_smoke("relax-ops", 2_000usize, 200);
     let ppm: u32 = cli.get("preempt-ppm", 500u32);
     let hot_ns: u64 = cli.get("hotspot-ns", 150u64);
-    let out_path = cli
-        .get_str("out")
-        .unwrap_or("results/BENCH_shard.json")
-        .to_string();
+    // Smoke runs land in target/ so a quick health check can never clobber
+    // the committed results/BENCH_shard.json artifact.
+    let default_out = if cli.smoke() {
+        "target/smoke/BENCH_shard.json"
+    } else {
+        "results/BENCH_shard.json"
+    };
+    let out_path = cli.get_str("out").unwrap_or(default_out).to_string();
     let inner = QueueSpec::parse(cli.get_str("inner").unwrap_or("lcrq")).unwrap_or_else(|e| {
         eprintln!("error: --inner: {e}");
         std::process::exit(2);

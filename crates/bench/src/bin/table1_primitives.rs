@@ -2,11 +2,17 @@
 //! dominant multicore architectures — plus a runtime probe of what *this*
 //! machine supports and a functional self-test of each primitive as used by
 //! the library.
+//!
+//! Usage: `table1_primitives [--smoke]` — already milliseconds-fast, so
+//! `--smoke` (accepted for uniformity with the other harness bins) changes
+//! nothing.
 
 use lcrq_atomic::{ops, AtomicPair, CasLoopFaa, FaaPolicy, HardwareFaa};
+use lcrq_bench::cli::Cli;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 fn main() {
+    let _ = Cli::from_env().smoke(); // no knobs to shrink; flag is a no-op
     println!("# Table 1: synchronization primitives by architecture (from the paper)");
     println!("| architecture | compare-and-swap | test-and-set | swap | fetch-and-add |");
     println!("|--------------|------------------|--------------|------|---------------|");

@@ -12,7 +12,8 @@
 //! ≈ 1; FC ≈ 0.21 (amortized through the combiner); MS ≈ 4.3 with heavy
 //! failures.
 //!
-//! Usage: `table2_stats [--threads 1,20] [--pairs 20000] [--ring-order 12]`
+//! Usage: `table2_stats [--threads 1,20] [--pairs 20000] [--ring-order 12]
+//!         [--smoke]`
 
 use lcrq_bench::cli::Cli;
 use lcrq_bench::{run_workload, QueueKind, QueueSpec, RunConfig};
@@ -20,8 +21,8 @@ use lcrq_util::metrics::Event;
 
 fn main() {
     let cli = Cli::from_env();
-    let thread_points = cli.get_list("threads", &[1, 20]);
-    let pairs: u64 = cli.get("pairs", 20_000u64);
+    let thread_points = cli.get_list_smoke("threads", &[1, 20], &[1, 2]);
+    let pairs: u64 = cli.get_smoke("pairs", 20_000u64, 300);
     let ring_order: u32 = cli.get("ring-order", 12u32);
     // Optional scheduler adversary (see lcrq_util::adversary and DESIGN.md
     // P1): emulates preemption landing inside critical windows, which this

@@ -9,7 +9,7 @@
 //! ops per operation in both settings.
 //!
 //! Usage: `table3_stats [--threads 80] [--pairs 2000] [--ring-order 12]
-//!         [--clusters 4]`
+//!         [--clusters 4] [--smoke]`
 
 use lcrq_bench::cli::Cli;
 use lcrq_bench::{run_workload, QueueKind, QueueSpec, RunConfig};
@@ -17,8 +17,8 @@ use lcrq_util::metrics::Event;
 
 fn main() {
     let cli = Cli::from_env();
-    let threads: usize = cli.get("threads", 80usize);
-    let pairs: u64 = cli.get("pairs", 2_000u64);
+    let threads: usize = cli.get_smoke("threads", 80usize, 8);
+    let pairs: u64 = cli.get_smoke("pairs", 2_000u64, 200);
     let ring_order: u32 = cli.get("ring-order", 12u32);
     let clusters: usize = cli.get("clusters", 4usize);
     // Optional scheduler adversary (see lcrq_util::adversary and DESIGN.md

@@ -65,6 +65,34 @@ impl Cli {
             None => default.to_vec(),
         }
     }
+
+    /// Whether `--smoke` was given. Every harness binary honors it by
+    /// shrinking its defaults to a seconds-long configuration — ci.sh runs
+    /// each bin once in smoke mode so bench code cannot bit-rot between
+    /// release benchmarking sessions. Explicit flags still win over the
+    /// smoke defaults.
+    pub fn smoke(&self) -> bool {
+        self.has("smoke")
+    }
+
+    /// Like [`get`](Cli::get), but defaulting to `smoke_default` when
+    /// `--smoke` is set (and `--key` is absent).
+    pub fn get_smoke<T: std::str::FromStr>(&self, key: &str, default: T, smoke_default: T) -> T {
+        let d = if self.smoke() { smoke_default } else { default };
+        self.get(key, d)
+    }
+
+    /// Like [`get_list`](Cli::get_list), but defaulting to `smoke_default`
+    /// when `--smoke` is set (and `--key` is absent).
+    pub fn get_list_smoke(
+        &self,
+        key: &str,
+        default: &[usize],
+        smoke_default: &[usize],
+    ) -> Vec<usize> {
+        let d = if self.smoke() { smoke_default } else { default };
+        self.get_list(key, d)
+    }
 }
 
 /// Prints a markdown table row.
@@ -101,5 +129,23 @@ mod tests {
     fn bad_values_fall_back_to_default() {
         let c = cli(&["--pairs", "abc"]);
         assert_eq!(c.get("pairs", 42u64), 42);
+    }
+
+    #[test]
+    fn smoke_swaps_defaults_but_never_explicit_flags() {
+        let quiet = cli(&["--pairs", "777"]);
+        assert!(!quiet.smoke());
+        assert_eq!(quiet.get_smoke("pairs", 10_000u64, 100), 777);
+        assert_eq!(quiet.get_smoke("runs", 3usize, 1), 3);
+
+        let smoke = cli(&["--smoke", "--pairs", "777"]);
+        assert!(smoke.smoke());
+        assert_eq!(smoke.get_smoke("pairs", 10_000u64, 100), 777, "flag wins");
+        assert_eq!(smoke.get_smoke("runs", 3usize, 1), 1, "smoke default");
+        assert_eq!(smoke.get_list_smoke("threads", &[8, 16], &[2]), vec![2]);
+        assert_eq!(
+            cli(&["--smoke", "--threads", "4"]).get_list_smoke("threads", &[8], &[2]),
+            vec![4]
+        );
     }
 }

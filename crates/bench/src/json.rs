@@ -1,0 +1,345 @@
+//! A minimal JSON reader for the `BENCH_*.json` artifacts.
+//!
+//! The workspace is dependency-free by design (DESIGN.md "Offline build"),
+//! so the regression gate cannot lean on serde. This is a small recursive
+//! parser covering the full JSON value grammar — the artifacts the harness
+//! emits are plain objects of numbers, strings, and booleans, but parsing
+//! the real grammar means a hand-edited baseline (or a future schema
+//! revision) fails loudly with a position instead of silently misreading.
+//!
+//! Writing stays hand-rolled at each call site (the emitters only ever
+//! print numbers and escape-free spec strings); this module is the *read*
+//! half that the gate and the fixture tooling share.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (f64 — artifact seeds are stored as hex *strings*
+    /// precisely because u64 does not survive the f64 round-trip).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in document order (keys may legally repeat; lookups
+    /// return the first).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let b = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a u64, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            c as char,
+            *pos,
+            b.get(*pos).map(|&x| x as char)
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    s.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("invalid number '{s}' at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        *pos += 4;
+                        // Surrogate pairs don't occur in our artifacts;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("bad escape '\\{}'", other as char)),
+                }
+            }
+            Some(&c) => {
+                // Copy a full UTF-8 sequence starting at c.
+                let len = match c {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let chunk = b
+                    .get(*pos..*pos + len)
+                    .and_then(|s| std::str::from_utf8(s).ok())
+                    .ok_or("invalid UTF-8 in string")?;
+                out.push_str(chunk);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        members.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Value::parse("null").unwrap(), Value::Null);
+        assert_eq!(Value::parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(Value::parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(Value::parse("-1.5e2").unwrap(), Value::Num(-150.0));
+        assert_eq!(
+            Value::parse("\"a\\n\\\"b\\u0041\"").unwrap(),
+            Value::Str("a\n\"bA".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = Value::parse(
+            r#"{"schema_version": 1, "rows": [{"contender": "lcrq", "mean_mops": 5.25,
+                "ok": true}, {"contender": "sharded:shards=8,d=2,inner=lcrq",
+                "mean_mops": 9.5, "ok": false}], "seed": "0xDEADBEEF"}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("seed").unwrap().as_str(), Some("0xDEADBEEF"));
+        let rows = v.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[1].get("contender").unwrap().as_str(),
+            Some("sharded:shards=8,d=2,inner=lcrq")
+        );
+        assert_eq!(rows[0].get("mean_mops").unwrap().as_f64(), Some(5.25));
+        assert_eq!(rows[1].get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn accessors_are_type_strict() {
+        let v = Value::parse(r#"{"n": 1.5, "s": "x"}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), None, "fractional is not u64");
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("s").unwrap().as_f64(), None);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Num(3.0).get("k"), None, "get on non-object");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "{\"a\": }",
+            "nul",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1}garbage",
+            "[1 2]",
+        ] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn round_trips_the_shard_artifact_shape() {
+        // The committed BENCH_shard.json writer's exact shape must stay
+        // readable by this parser (the arena gate reads its sibling).
+        let doc = r#"{
+  "bench": "shard_scaling",
+  "preempt_ppm": 500,
+  "within_bound": true,
+  "rows": [
+    {"spec": "lcrq", "producers": 8, "consumers": 8, "mops": 0.4047}
+  ]
+}
+"#;
+        let v = Value::parse(doc).unwrap();
+        assert_eq!(v.get("bench").unwrap().as_str(), Some("shard_scaling"));
+        assert_eq!(
+            v.get("rows").unwrap().as_arr().unwrap()[0]
+                .get("mops")
+                .unwrap()
+                .as_f64(),
+            Some(0.4047)
+        );
+    }
+}

@@ -20,13 +20,26 @@
 //! | `fig9_ringsize` | Figure 9 — ring-size sensitivity |
 //! | `table2_stats` | Table 2 — per-op stats, 1 and 20 threads |
 //! | `table3_stats` | Table 3 — per-op stats, 80 threads, empty & full |
+//!
+//! Beyond the paper, `pairwise` runs the cross-library arena (chaoran's
+//! fast-wait-free-queue methodology): every registry spec plus external
+//! baselines behind the [`arena::Contender`] trait, multi-run
+//! mean/stddev/margin-of-error statistics from [`stats`], and a
+//! schema-versioned `results/BENCH_arena.json` that ci.sh's regression
+//! gate diffs against the committed baseline. Every binary accepts
+//! `--smoke` for a seconds-long bit-rot check (ci.sh runs them all).
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cli;
+pub mod json;
 pub mod microbench;
 pub mod registry;
+pub mod stats;
 pub mod workload;
 
+pub use arena::{ArenaArtifact, ArenaConfig, Contender};
 pub use registry::{QueueKind, QueueSpec, ALL_KINDS};
+pub use stats::Summary;
 pub use workload::{run_averaged, run_workload, RunConfig, RunResult};

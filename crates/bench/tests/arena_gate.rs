@@ -1,0 +1,109 @@
+//! Gate self-test against the *committed* artifacts (ISSUE 9, satellite 1).
+//!
+//! The unit tests in `arena.rs` exercise the gate on synthetic artifacts;
+//! this integration test points it at the real files ci.sh uses, so a
+//! stale or hand-mangled checkout fails here first with a message naming
+//! the refresh workflow:
+//!
+//! * `results/BENCH_arena.json` — the committed baseline — must parse
+//!   under the current schema and cover every flagship;
+//! * `results/fixtures/BENCH_arena_drop.json` (planted 20 % drop) must
+//!   FAIL the gate on every flagship;
+//! * `results/fixtures/BENCH_arena_pass.json` (identity twin) must PASS.
+//!
+//! Refresh workflow when these drift (documented in results/README.md):
+//! `cargo run --release --bin pairwise` to re-measure the baseline, then
+//! `cargo run --release --bin pairwise -- --make-fixtures --baseline
+//! results/BENCH_arena.json` to regenerate both fixtures.
+
+use lcrq_bench::arena::{self, ArenaArtifact};
+use std::path::PathBuf;
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+fn load(rel: &str) -> ArenaArtifact {
+    let path = results_dir().join(rel);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} — regenerate with `cargo run --release --bin pairwise` \
+             (baseline) and `-- --make-fixtures` (fixtures)",
+            path.display()
+        )
+    });
+    ArenaArtifact::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn committed_baseline_parses_and_covers_flagships() {
+    let baseline = load("BENCH_arena.json");
+    assert!(!baseline.rows.is_empty());
+    for flagship in arena::flagship_names() {
+        assert!(
+            baseline.rows.iter().any(|r| r.contender == flagship),
+            "committed baseline has no rows for flagship '{flagship}' — \
+             re-measure with `cargo run --release --bin pairwise`"
+        );
+    }
+    // Every row must carry a finite, populated summary: a baseline of
+    // NaNs would make the gate vacuously green.
+    for r in &baseline.rows {
+        assert!(r.summary.n >= 1, "{}: empty summary", r.contender);
+        assert!(
+            r.summary.mean.is_finite() && r.summary.mean > 0.0,
+            "{}: non-finite mean",
+            r.contender
+        );
+        assert!(r.summary.moe.is_finite(), "{}: non-finite moe", r.contender);
+    }
+}
+
+#[test]
+fn planted_drop_fixture_fails_the_gate_on_every_flagship() {
+    let baseline = load("BENCH_arena.json");
+    let drop = load("fixtures/BENCH_arena_drop.json");
+    let flagships = arena::flagship_names();
+    let outcome = arena::regression_gate(&baseline, &drop, &flagships);
+    assert!(
+        !outcome.passed(),
+        "planted 20% drop slipped through the gate — it can no longer \
+         catch real regressions"
+    );
+    for flagship in &flagships {
+        assert!(
+            outcome
+                .failures
+                .iter()
+                .any(|f| f.starts_with(&format!("{flagship} @"))),
+            "gate missed the planted drop on '{flagship}' — baseline too \
+             noisy; re-measure with more runs and regenerate the fixtures \
+             (failures: {:?})",
+            outcome.failures
+        );
+    }
+}
+
+#[test]
+fn unchanged_fixture_passes_the_gate() {
+    let baseline = load("BENCH_arena.json");
+    let pass = load("fixtures/BENCH_arena_pass.json");
+    let outcome = arena::regression_gate(&baseline, &pass, &arena::flagship_names());
+    assert!(
+        outcome.passed(),
+        "identity fixture failed the gate: {:?}",
+        outcome.failures
+    );
+}
+
+#[test]
+fn fixtures_regenerate_from_the_committed_baseline() {
+    // `make_fixtures` re-derives and re-verifies the pair; if the
+    // committed baseline ever becomes too noisy for its own self-test,
+    // this is the test that says so explicitly.
+    let baseline = load("BENCH_arena.json");
+    let (drop, pass) = arena::make_fixtures(&baseline, &arena::flagship_names())
+        .expect("committed baseline supports fixture generation");
+    assert_eq!(drop.rows.len(), baseline.rows.len());
+    assert_eq!(pass.rows.len(), baseline.rows.len());
+}

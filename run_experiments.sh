@@ -23,5 +23,7 @@ $B/table2_stats --threads 1,20 --pairs 8000 > results/table2.md 2>&1
 $B/table2_stats --threads 20 --pairs 2500 --preempt-ppm 5000 > results/table2_adversarial.md 2>&1
 $B/table3_stats --threads 80 --pairs 800 > results/table3.md 2>&1
 $B/table3_stats --threads 80 --pairs 600 --preempt-ppm 2000 > results/table3_adversarial.md 2>&1
+$B/pairwise --runs 12 --warmup 3 > results/arena.md 2>&1   # also refreshes results/BENCH_arena.json
+$B/pairwise --make-fixtures --baseline results/BENCH_arena.json >> results/arena.md 2>&1
 echo ALL-EXPERIMENTS-DONE
 $B/fig6_throughput --oversubscribed --threads 8,32,64 --pairs 1500 --runs 2 --queues lcrq,ms,optimistic,baskets,sim-queue > results/fig6b_related_work.md 2>&1
