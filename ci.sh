@@ -89,6 +89,26 @@ cargo test --features fault-injection --test fault_tolerance -q
 seed_sweep "stress sweep" "0x1 0x2 0x3 0x5EED 0xC0FFEE 0xDEADBEEF 0xFA175EED 0xFFFFFFFF" \
     --features fault-injection --test fault_tolerance -q stress_sweep
 
+# Loom gate (DESIGN.md "Weak memory & model checking"): the in-tree model
+# checker explores thread interleavings of the seqlock CAS2 fallback, the
+# EventCount parker protocol, and the RingPool versioned Treiber pop.
+# `--cfg loom` swaps the lcrq-util sync facade to the instrumented shims
+# (the crossbeam convention); the engine's own self-tests already ran in
+# tier-1 above.
+echo "==> loom model-checking gate (--cfg loom)"
+RUSTFLAGS="--cfg loom" cargo test -p lcrq-util --test loom -q
+RUSTFLAGS="--cfg loom" cargo test -p lcrq-atomic --test loom -q
+RUSTFLAGS="--cfg loom" cargo test -p lcrq-core --test loom -q
+
+# Force-fallback gate: route x86 CAS2 through the portable seqlock path
+# and re-run the root suite (linearizability battery included) plus the
+# crash-tolerance harness, so the configuration every non-x86 target
+# depends on is exercised by the full protocol tests — not only by its
+# own unit suite.
+echo "==> force-fallback gate (portable CAS2 path under the full suite)"
+cargo test --features force-fallback -q
+cargo test --features force-fallback,fault-injection --test fault_tolerance -q
+
 # Bench smoke gate (ISSUE 9 satellite): every harness binary runs once in
 # --smoke mode (seconds-long shrunken defaults; artifact-writing bins
 # redirect their default output under target/smoke/ so committed results/
@@ -221,6 +241,45 @@ if rustup toolchain list 2>/dev/null | grep -q nightly &&
     rm -f "$asan_log"
 else
     echo "==> ASan/LSan skipped (nightly toolchain with rust-src not installed)"
+fi
+
+# Miri job: interpret the lcrq-atomic + lcrq-util fast suites under the
+# stacked-borrows/data-race checker. This is what caught the fallback's
+# volatile-write data race (see fallback::cmpxchg16b in
+# crates/atomic/src/pair.rs); under Miri CAS2 routes through the fallback
+# automatically (inline asm cannot be interpreted) and syscall/timing
+# tests carry #[cfg_attr(miri, ignore)]. Same skip pattern as the
+# sanitizer jobs when the component is absent.
+if rustup toolchain list 2>/dev/null | grep -q nightly &&
+    rustup component list --toolchain nightly 2>/dev/null |
+        grep -q 'miri.*(installed)'; then
+    echo "==> Miri (nightly): lcrq-atomic + lcrq-util suites"
+    MIRIFLAGS="-Zmiri-disable-isolation" \
+        cargo +nightly miri test -p lcrq-atomic -p lcrq-util -q
+else
+    echo "==> Miri skipped (nightly miri component not installed)"
+fi
+
+# aarch64 job: the weak-memory target the portable fallback exists for.
+# Cross-compile the whole workspace; if a QEMU user-mode emulator and a
+# cross linker are also present, run the atomic + util unit suites under
+# emulation so the Release/Acquire pairs execute on (emulated) weak
+# memory ordering rather than x86 TSO.
+if rustup target list --installed 2>/dev/null | grep -q aarch64-unknown-linux-gnu; then
+    echo "==> aarch64 cross-compile (workspace)"
+    cargo check --workspace --target aarch64-unknown-linux-gnu
+    if command -v qemu-aarch64 >/dev/null 2>&1 &&
+        command -v aarch64-linux-gnu-gcc >/dev/null 2>&1; then
+        echo "==> aarch64 QEMU test leg (atomic + util suites)"
+        CARGO_TARGET_AARCH64_UNKNOWN_LINUX_GNU_LINKER=aarch64-linux-gnu-gcc \
+            CARGO_TARGET_AARCH64_UNKNOWN_LINUX_GNU_RUNNER="qemu-aarch64 -L /usr/aarch64-linux-gnu" \
+            cargo test --target aarch64-unknown-linux-gnu \
+            -p lcrq-atomic -p lcrq-util -q
+    else
+        echo "==> aarch64 QEMU leg skipped (qemu-aarch64 / cross gcc not installed)"
+    fi
+else
+    echo "==> aarch64 skipped (target aarch64-unknown-linux-gnu not installed)"
 fi
 
 echo "CI OK"

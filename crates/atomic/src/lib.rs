@@ -26,4 +26,4 @@ pub mod ops;
 pub mod pair;
 
 pub use faa::{CasLoopFaa, FaaPolicy, HardwareFaa};
-pub use pair::AtomicPair;
+pub use pair::{cas2_backend, AtomicPair};

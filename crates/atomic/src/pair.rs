@@ -7,12 +7,15 @@
 //! Rust's standard library has no stable 128-bit atomic, so on x86-64 we
 //! issue `lock cmpxchg16b` through inline assembly. A portable spinlock-
 //! striped fallback is compiled on every platform (and unit-tested on this
-//! one) so the library still builds elsewhere; only the native path is used
-//! on x86-64.
+//! one) so the library still builds elsewhere. Which path a build actually
+//! uses is reported by [`cas2_backend`]: native on x86-64, the fallback
+//! everywhere else **and** on x86-64 under the `force-fallback` feature,
+//! under Miri (which cannot execute inline asm), and under `--cfg loom`
+//! (so the model checker sees instrumented per-word accesses).
 
 use core::cell::UnsafeCell;
-use core::sync::atomic::{AtomicU64, Ordering};
 use lcrq_util::metrics::{self, Event};
+use lcrq_util::sync::{AtomicU64, Ordering};
 
 /// A pair of `u64` words on which [`compare_exchange`](AtomicPair::compare_exchange)
 /// is atomic across both words.
@@ -111,11 +114,17 @@ impl AtomicPair {
             metrics::inc(Event::Cas2Attempt);
         }
         let r = {
-            #[cfg(target_arch = "x86_64")]
+            #[cfg(all(
+                target_arch = "x86_64",
+                not(any(loom, miri, feature = "force-fallback"))
+            ))]
             {
                 native::cmpxchg16b(self.words.get(), old, new)
             }
-            #[cfg(not(target_arch = "x86_64"))]
+            #[cfg(not(all(
+                target_arch = "x86_64",
+                not(any(loom, miri, feature = "force-fallback"))
+            )))]
             {
                 fallback::cmpxchg16b(self.words.get(), old, new)
             }
@@ -151,8 +160,31 @@ impl core::fmt::Debug for AtomicPair {
     }
 }
 
-/// Native x86-64 path: `lock cmpxchg16b` via inline assembly.
-#[cfg(target_arch = "x86_64")]
+/// Which CAS2 implementation this build routes
+/// [`AtomicPair::compare_exchange`] through. Benches and arena artifacts
+/// record this so a measurement is never silently attributed to the wrong
+/// path (e.g. a `force-fallback` run mistaken for native numbers).
+pub fn cas2_backend() -> &'static str {
+    if cfg!(loom) {
+        "seqlock-fallback (loom model)"
+    } else if cfg!(miri) {
+        "seqlock-fallback (miri)"
+    } else if cfg!(all(target_arch = "x86_64", feature = "force-fallback")) {
+        "seqlock-fallback (force-fallback on x86_64)"
+    } else if cfg!(target_arch = "x86_64") {
+        "native cmpxchg16b"
+    } else {
+        "seqlock-fallback (portable)"
+    }
+}
+
+/// Native x86-64 path: `lock cmpxchg16b` via inline assembly. Compiled out
+/// (not just unused) under Miri / loom / `force-fallback`, matching the
+/// routing in `compare_exchange_internal`.
+#[cfg(all(
+    target_arch = "x86_64",
+    not(any(loom, miri, feature = "force-fallback"))
+))]
 mod native {
     /// Atomically compares the 16 bytes at `ptr` with `old` and, if equal,
     /// replaces them with `new`. Returns `Ok(())` or the observed value.
@@ -164,6 +196,14 @@ mod native {
         old: (u64, u64),
         new: (u64, u64),
     ) -> Result<(), (u64, u64)> {
+        // `lock cmpxchg16b` #GP-faults on a misaligned operand; every
+        // `AtomicPair` is `repr(align(16))`, but a cell reached through a
+        // bad cast or FFI would not be. Cheap to check, fatal to miss.
+        debug_assert_eq!(
+            ptr as usize % 16,
+            0,
+            "cmpxchg16b operand must be 16-byte aligned"
+        );
         let (old_lo, old_hi) = old;
         let (new_lo, new_hi) = new;
         let res_lo: u64;
@@ -196,19 +236,27 @@ mod native {
     }
 }
 
-/// Portable fallback: an address-striped spinlock table. Pair loads/stores in
-/// this module also take the stripe lock, so per-word loads never observe a
-/// half-written pair. Compiled everywhere; only used off x86-64.
+/// Portable fallback: an address-striped spinlock table serializing CAS2
+/// *writers*; readers ([`AtomicPair::load_first`]/[`load_second`]) stay
+/// lock-free per-word atomic loads. A reader racing a CAS2 can observe the
+/// pair half-updated — exactly the CRQ's access model, which reads `val`
+/// and `<safe, idx>` as two independent 64-bit loads and relies on CAS2
+/// failure to reject torn observations. Compiled everywhere; used off
+/// x86-64 and under Miri / loom / `force-fallback`.
 #[allow(dead_code)]
 mod fallback {
-    use core::sync::atomic::{AtomicBool, Ordering};
+    use lcrq_util::sync::{AtomicBool, AtomicU64, Ordering};
 
-    const STRIPES: usize = 64;
+    // One stripe under loom: lock choice must not depend on heap addresses,
+    // which vary across executions and would derail schedule replay.
+    const STRIPES: usize = if cfg!(loom) { 1 } else { 64 };
     static LOCKS: [AtomicBool; STRIPES] = [const { AtomicBool::new(false) }; STRIPES];
 
     fn stripe(addr: usize) -> &'static AtomicBool {
         // 16-byte cells: drop the low 4 bits, then stripe.
-        &LOCKS[(addr >> 4) % STRIPES]
+        #[allow(clippy::modulo_one)] // STRIPES == 1 under the loom cfg
+        let idx = (addr >> 4) % STRIPES;
+        &LOCKS[idx]
     }
 
     struct Guard(&'static AtomicBool);
@@ -220,6 +268,9 @@ mod fallback {
 
     fn lock(addr: usize) -> Guard {
         let l = stripe(addr);
+        #[cfg(loom)]
+        lcrq_util::model::acquire_flag(l);
+        #[cfg(not(loom))]
         while l
             .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
@@ -229,22 +280,45 @@ mod fallback {
         Guard(l)
     }
 
-    /// Lock-based emulation of [`super::native::cmpxchg16b`].
+    /// Views the 16-byte cell as its two word atomics.
+    ///
+    /// # Safety
+    /// `ptr` must point to a live, 8-byte-aligned `[u64; 2]` whose words
+    /// are only ever mutated through atomic operations.
+    unsafe fn words<'a>(ptr: *mut [u64; 2]) -> (&'a AtomicU64, &'a AtomicU64) {
+        let base = ptr as *const AtomicU64;
+        (&*base, &*base.add(1))
+    }
+
+    /// Lock-based emulation of x86 `lock cmpxchg16b`.
+    ///
+    /// All cell access is per-word atomic. An earlier version read and
+    /// wrote the cell with `read_volatile`/`write_volatile` under the
+    /// stripe lock — a data race against the *unlocked* `Acquire` word
+    /// loads in `load_first`/`load_second` (volatile is not atomic).
+    /// Miri reports it as "Data race detected between (1) non-atomic
+    /// write and (2) atomic load"; x86's TSO happened to tolerate it,
+    /// aarch64 would not. Keep every access to the cell atomic.
     pub fn cmpxchg16b(
         ptr: *mut [u64; 2],
         old: (u64, u64),
         new: (u64, u64),
     ) -> Result<(), (u64, u64)> {
         let _g = lock(ptr as usize);
-        // SAFETY: the stripe lock serializes all fallback access to this cell.
-        unsafe {
-            let cur = core::ptr::read_volatile(ptr);
-            if cur == [old.0, old.1] {
-                core::ptr::write_volatile(ptr, [new.0, new.1]);
-                Ok(())
-            } else {
-                Err((cur[0], cur[1]))
-            }
+        // SAFETY: `ptr` comes from a live cell (`AtomicPair` or a test's
+        // exclusive array) mutated only under this stripe lock, and read
+        // elsewhere only with atomic loads.
+        let (w0, w1) = unsafe { words(ptr) };
+        // The stripe lock serializes writers, so this read-compare-write
+        // is atomic with respect to other CAS2s; Relaxed loads suffice
+        // under the lock's Acquire.
+        let cur = (w0.load(Ordering::Relaxed), w1.load(Ordering::Relaxed));
+        if cur == old {
+            w0.store(new.0, Ordering::Release);
+            w1.store(new.1, Ordering::Release);
+            Ok(())
+        } else {
+            Err(cur)
         }
     }
 }
@@ -312,6 +386,72 @@ mod tests {
         for p in &v {
             assert_eq!(p as *const _ as usize % 16, 0);
         }
+        // Boxed, stack, and struct-embedded cells must all satisfy the
+        // native path's debug assertion (`lock cmpxchg16b` faults on a
+        // misaligned operand).
+        let boxed = Box::new(AtomicPair::new(0, 0));
+        assert_eq!(&*boxed as *const _ as usize % 16, 0);
+        struct Embeds {
+            _pad: u8,
+            p: AtomicPair,
+        }
+        let e = Embeds {
+            _pad: 1,
+            p: AtomicPair::new(0, 0),
+        };
+        assert_eq!(&e.p as *const _ as usize % 16, 0);
+        assert!(e.p.compare_exchange((0, 0), (1, 1)).is_ok());
+    }
+
+    #[test]
+    fn backend_report_matches_build_configuration() {
+        let b = cas2_backend();
+        if cfg!(all(
+            target_arch = "x86_64",
+            not(any(miri, feature = "force-fallback"))
+        )) {
+            assert_eq!(b, "native cmpxchg16b");
+        } else {
+            assert!(b.starts_with("seqlock-fallback"), "unexpected backend {b}");
+        }
+    }
+
+    #[test]
+    fn fallback_cas2_vs_atomic_word_reads_is_race_free() {
+        // Regression witness for the fallback data race (see the comment on
+        // fallback::cmpxchg16b): under Miri the old volatile-write body
+        // fails here with "Data race detected between (1) non-atomic write
+        // and (2) atomic load". Readers use the same per-word Acquire loads
+        // as load_first/load_second while a writer runs fallback CAS2s.
+        let p = Arc::new(AtomicPair::new(0, 0));
+        let iters: u64 = if cfg!(miri) { 200 } else { 20_000 };
+        let w = {
+            let p = Arc::clone(&p);
+            std::thread::spawn(move || {
+                let mut cur = (0u64, 0u64);
+                for _ in 0..iters {
+                    let next = if cur.0 == 0 {
+                        (u64::MAX, u64::MAX)
+                    } else {
+                        (0, 0)
+                    };
+                    // SAFETY: the fallback serializes writers internally and
+                    // readers only use atomic loads — the property under test.
+                    assert_eq!(
+                        super::fallback::cmpxchg16b(p.words.get(), cur, next),
+                        Ok(())
+                    );
+                    cur = next;
+                }
+            })
+        };
+        for _ in 0..iters {
+            let a = p.load_first();
+            let b = p.load_second();
+            assert!(a == 0 || a == u64::MAX, "impossible word value {a}");
+            assert!(b == 0 || b == u64::MAX, "impossible word value {b}");
+        }
+        w.join().unwrap();
     }
 
     #[test]

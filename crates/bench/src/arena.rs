@@ -540,6 +540,11 @@ pub struct ArenaArtifact {
     pub warmup: usize,
     /// Inclusive inter-operation delay range in ns.
     pub delay_ns: (u64, u64),
+    /// CAS2 path the producing build routed `AtomicPair` through
+    /// (`lcrq_atomic::cas2_backend()`): numbers from a `force-fallback`
+    /// or portable run must never be confused with native ones.
+    /// `"unknown"` when read from a pre-field artifact.
+    pub cas2_backend: String,
     /// Measured cells.
     pub rows: Vec<ArenaRow>,
 }
@@ -563,8 +568,15 @@ impl ArenaArtifact {
              \"bench\": \"pairwise\",\n  \
              \"seed\": \"{:#x}\",\n  \
              \"pairs\": {},\n  \"runs\": {},\n  \"warmup_runs\": {},\n  \
-             \"delay_ns\": [{}, {}],\n  \"rows\": [\n",
-            self.seed, self.pairs, self.runs, self.warmup, self.delay_ns.0, self.delay_ns.1
+             \"delay_ns\": [{}, {}],\n  \
+             \"cas2_backend\": \"{}\",\n  \"rows\": [\n",
+            self.seed,
+            self.pairs,
+            self.runs,
+            self.warmup,
+            self.delay_ns.0,
+            self.delay_ns.1,
+            self.cas2_backend
         ));
         for (i, r) in self.rows.iter().enumerate() {
             let samples = r
@@ -637,12 +649,20 @@ impl ArenaArtifact {
             .iter()
             .map(parse_row)
             .collect::<Result<Vec<_>, _>>()?;
+        // Absent in schema-v1 artifacts written before the field existed;
+        // lenient so the committed baseline stays readable.
+        let cas2_backend = v
+            .get("cas2_backend")
+            .and_then(|s| s.as_str())
+            .unwrap_or("unknown")
+            .to_string();
         Ok(Self {
             seed,
             pairs: get_u64("pairs")?,
             runs: get_u64("runs")? as usize,
             warmup: get_u64("warmup_runs")? as usize,
             delay_ns,
+            cas2_backend,
             rows,
         })
     }
@@ -941,6 +961,7 @@ mod tests {
             runs: 3,
             warmup: 1,
             delay_ns: (50, 150),
+            cas2_backend: lcrq_atomic::cas2_backend().to_string(),
             // Tight samples (moe ≈ 2–3 % of the mean): the gate's noise
             // allowance stays below the planted 20 % drop, as a usable
             // committed baseline's must (make_fixtures verifies this for
@@ -964,12 +985,28 @@ mod tests {
         assert_eq!(b.seed, a.seed);
         assert_eq!((b.pairs, b.runs, b.warmup), (a.pairs, a.runs, a.warmup));
         assert_eq!(b.delay_ns, a.delay_ns);
+        assert_eq!(b.cas2_backend, a.cas2_backend);
+        assert!(!b.cas2_backend.is_empty());
         assert_eq!(b.rows.len(), a.rows.len());
         let (ra, rb) = (&a.rows[0], &b.rows[0]);
         assert_eq!(rb.contender, ra.contender);
         assert!((rb.summary.mean - ra.summary.mean).abs() < 1e-6);
         assert!((rb.summary.moe - ra.summary.moe).abs() < 1e-6);
         assert_eq!(rb.samples.len(), ra.samples.len());
+    }
+
+    #[test]
+    fn parse_defaults_cas2_backend_for_pre_field_artifacts() {
+        // Committed schema-v1 baselines predate the field; they must stay
+        // readable, reporting "unknown" rather than failing the gate.
+        let a = sample_artifact().render();
+        let legacy: String = a
+            .lines()
+            .filter(|l| !l.contains("cas2_backend"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = ArenaArtifact::parse(&legacy).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(parsed.cas2_backend, "unknown");
     }
 
     #[test]

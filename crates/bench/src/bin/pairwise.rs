@@ -296,6 +296,7 @@ fn measure_mode(cli: &Cli) -> ExitCode {
         runs,
         warmup,
         delay_ns: (delay_lo, delay_hi),
+        cas2_backend: lcrq_atomic::cas2_backend().to_string(),
         rows,
     };
     match write_text(&out_path, &artifact.render()) {

@@ -37,6 +37,11 @@ fn main() {
     }
     #[cfg(not(target_arch = "x86_64"))]
     println!("- cmpxchg16b (CAS2): n/a (portable fallback active)");
+    // Which path AtomicPair::compare_exchange actually routes through in
+    // *this* build (native vs seqlock fallback vs force-fallback): bench
+    // output must record the measured configuration, not the host's
+    // capability.
+    println!("- CAS2 backend: {}", lcrq_atomic::cas2_backend());
 
     println!();
     println!("## Functional self-test (instructions as used by the library)");

@@ -32,7 +32,10 @@
 //! protect the candidate with a hazard slot before dereferencing, and every
 //! free of a ring that was ever pool-visible goes through [`Domain::retire`].
 
-use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+// Atomics come from the sync facade so the pool's shard and length
+// operations are scheduler decision points under `--cfg loom`
+// (tests/loom.rs models the versioned Treiber pop's ABA window).
+use lcrq_util::sync::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::sync::Weak;
 
@@ -52,7 +55,15 @@ thread_local! {
 }
 
 /// Small dense thread index for shard striping (assigned on first use).
+/// Inside a model execution the model's own thread id is used instead: the
+/// global counter's value depends on how many executions ran before this
+/// one, which would make shard choice differ between a schedule's first
+/// run and its replay.
 fn thread_slot() -> usize {
+    #[cfg(loom)]
+    if let Some(id) = lcrq_util::model::current_thread_id() {
+        return id;
+    }
     THREAD_SLOT.with(|c| {
         let mut v = c.get();
         if v == usize::MAX {

@@ -1,0 +1,139 @@
+//! Model-checked interleavings of the `RingPool` versioned Treiber stack,
+//! run by the ci.sh loom gate:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p lcrq-core --test loom -q
+//! ```
+//!
+//! The property under test is exactly-once hand-off through the pop ABA
+//! window: a popper reads `top = (v, A)` and `A.next`, then CASes
+//! `(v, A) -> (v+1, next)`. Without the version word, a concurrent
+//! pop/re-push of `A` would let that stale CAS succeed and corrupt the
+//! stack; the version forces it to fail. These models drive poppers and
+//! re-pushers through that window and assert no ring is ever delivered
+//! twice or lost. Under `--cfg loom` every `AtomicPair` op goes through
+//! the instrumented seqlock fallback and the pool's shard striping is
+//! keyed by model thread id, so schedules replay deterministically.
+#![cfg(loom)]
+
+use lcrq_core::config::LcrqConfig;
+use lcrq_core::crq::Crq;
+use lcrq_core::pool::RingPool;
+use lcrq_hazard::Domain;
+use lcrq_util::model::{thread, Builder};
+use std::sync::Arc;
+
+fn ring() -> Box<Crq> {
+    Box::new(Crq::new(&LcrqConfig::new().with_ring_order(2)))
+}
+
+/// Pops one ring and returns its address (the Box is re-materialized by
+/// the caller so rings can be compared across threads).
+fn pop_addr(pool: &RingPool, domain: &Domain) -> Option<usize> {
+    pool.pop(domain, 0).map(|r| Box::into_raw(r) as usize)
+}
+
+/// Reclaims a ring previously leaked by [`pop_addr`].
+///
+/// # Safety
+/// `addr` must come from `pop_addr` and not have been freed already.
+unsafe fn free_addr(addr: usize) {
+    drop(Box::from_raw(addr as *mut Crq));
+}
+
+#[test]
+fn two_racing_poppers_get_distinct_rings() {
+    let report = Builder {
+        max_executions: 2_000,
+        ..Builder::new()
+    }
+    .check(|| {
+        // Capacity 3 => 3 shards. The root (model tid 0) pushes three
+        // rings: the first parks in shard[0], the rest go to the Treiber
+        // stack — which tids 1 and 2 (shards empty) then race to pop.
+        let pool = RingPool::new(3);
+        let domain = Arc::new(Domain::new());
+        for _ in 0..3 {
+            assert!(pool.push(ring()).is_ok());
+        }
+        let (p1, d1) = (Arc::clone(&pool), Arc::clone(&domain));
+        let (p2, d2) = (Arc::clone(&pool), Arc::clone(&domain));
+        let t1 = thread::spawn(move || pop_addr(&p1, &d1));
+        let t2 = thread::spawn(move || pop_addr(&p2, &d2));
+        let a = t1.join().unwrap().expect("popper 1 found the stack empty");
+        let b = t2.join().unwrap().expect("popper 2 found the stack empty");
+        assert_ne!(a, b, "one ring delivered to two poppers");
+        assert_eq!(pool.len(), 1, "a ring was lost or double-counted");
+        let c = pop_addr(&pool, &domain).expect("third ring");
+        assert_ne!(c, a);
+        assert_ne!(c, b);
+        // SAFETY: each address was popped (hence exclusively owned) and is
+        // freed exactly once.
+        unsafe {
+            free_addr(a);
+            free_addr(b);
+            free_addr(c);
+        }
+    });
+    assert!(
+        report.executions > 1,
+        "must explore >1 interleaving: {report:?}"
+    );
+}
+
+#[test]
+fn stale_version_cas_is_defeated_by_pop_repush() {
+    let report = Builder {
+        max_executions: 2_000,
+        ..Builder::new()
+    }
+    .check(|| {
+        // Capacity 4 => 4 shards. The root fills shard[0] and leaves three
+        // rings on the stack. Thread 1 pops twice and pushes both back
+        // (its first push lands in its empty shard[1], forcing the second
+        // back onto the *stack* — re-creating the classic ABA shape where
+        // a previously-seen head pointer returns with a bumped version).
+        // Thread 2 pops once, concurrently, possibly holding a stale
+        // (version, ptr) snapshot across the whole dance.
+        let pool = RingPool::new(4);
+        let domain = Arc::new(Domain::new());
+        for _ in 0..4 {
+            assert!(pool.push(ring()).is_ok());
+        }
+        let (p1, d1) = (Arc::clone(&pool), Arc::clone(&domain));
+        let (p2, d2) = (Arc::clone(&pool), Arc::clone(&domain));
+        let t1 = thread::spawn(move || {
+            let a = p1.pop(&d1, 0).expect("cycler pop 1");
+            let b = p1.pop(&d1, 0).expect("cycler pop 2");
+            assert!(p1.push(a).is_ok());
+            assert!(p1.push(b).is_ok());
+        });
+        let t2 = thread::spawn(move || pop_addr(&p2, &d2));
+        t1.join().unwrap();
+        let stolen = t2.join().unwrap().expect("racer pop");
+        // The cycler's net effect is zero, so exactly 3 rings remain and
+        // none of them may alias the racer's ring (exactly-once).
+        assert_eq!(pool.len(), 3, "ABA corrupted the stack length");
+        let mut rest = Vec::new();
+        while let Some(addr) = pop_addr(&pool, &domain) {
+            rest.push(addr);
+        }
+        assert_eq!(rest.len(), 3, "a ring was lost in the ABA window");
+        for &r in &rest {
+            assert_ne!(r, stolen, "ring delivered twice through a stale CAS");
+        }
+        // All survivors distinct among themselves, too.
+        let mut sorted = rest.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "duplicate ring in the drained stack");
+        // SAFETY: every address was popped exactly once above.
+        unsafe {
+            free_addr(stolen);
+            for r in rest {
+                free_addr(r);
+            }
+        }
+    });
+    assert!(report.executions > 1);
+}

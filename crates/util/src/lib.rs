@@ -13,10 +13,12 @@ pub mod backoff;
 pub mod fault;
 pub mod hist;
 pub mod metrics;
+pub mod model;
 pub mod pad;
 pub mod parker;
 pub mod rng;
 pub mod spin;
+pub mod sync;
 pub mod topology;
 
 pub use backoff::{set_wait_mode, wait_mode, Backoff, WaitMode};

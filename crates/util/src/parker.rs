@@ -12,8 +12,9 @@
 //! then wake sleepers — so the final poll and the epoch check bracket the
 //! race window (see DESIGN.md "Channel layer" for the full argument).
 
-use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+// Primitives come from the crate's sync facade so the model checker can
+// explore this module's interleavings under `--cfg loom` (tests/loom.rs).
+use crate::sync::{AtomicU32, AtomicU64, Condvar, Mutex, MutexGuard, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::metrics::{self, Event};
@@ -289,6 +290,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock timing assertion")]
     fn parker_timeout_expires() {
         let p = Parker::new();
         let start = Instant::now();
@@ -345,6 +347,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock timing assertion")]
     fn eventcount_timeout_expires_without_notify() {
         let e = EventCount::new();
         let t = e.prepare();
@@ -381,6 +384,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "200-round thread-spawn stress is minutes under Miri")]
     fn eventcount_no_lost_wakeup_stress() {
         // Producer flips a flag then notifies; consumer uses the full
         // prepare → poll → wait protocol. A lost wakeup shows up as a

@@ -1,0 +1,32 @@
+//! Synchronization-primitive facade: `core::sync::atomic` /
+//! `std::sync` in production builds, the instrumented
+//! [`crate::model::sync`] shims when compiled with `RUSTFLAGS="--cfg
+//! loom"` (the crossbeam convention).
+//!
+//! Code whose interleavings should be explorable by the in-tree model
+//! checker (see [`crate::model`]) imports its primitives from here
+//! instead of `core`/`std`. The shim types are `#[repr(transparent)]`
+//! over the real ones and delegate to them outside an active model
+//! execution, so the facade is zero-cost in ordinary builds — verified
+//! by the `zero_cost` nm probe in ci.sh for the production
+//! configuration.
+
+#[cfg(not(loom))]
+pub use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+pub use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+#[cfg(loom)]
+pub use crate::model::sync::{
+    AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering,
+    WaitTimeoutResult,
+};
+
+/// Thread shims: modeled spawn/join under `--cfg loom`, `std::thread`
+/// otherwise.
+pub mod thread {
+    #[cfg(loom)]
+    pub use crate::model::thread::{spawn, yield_now, JoinHandle};
+    #[cfg(not(loom))]
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
